@@ -1,0 +1,78 @@
+"""Ablation A2: the fine-tuning stage's contribution (paper §IV-C).
+
+Four variants on the same backdoored model and defender budget:
+
+- ``prune_only``      — gradient pruning, no fine-tuning;
+- ``prune_ft_clean``  — pruning + fine-tuning on clean data only;
+- ``prune_ft_full``   — the paper's method: pruning + fine-tuning on clean
+                        AND relabeled backdoor data;
+- ``ft_full_only``    — fine-tuning with both data kinds but NO pruning
+                        (how much does pruning add over pure unlearning-
+                        style fine-tuning?).
+"""
+
+import copy
+
+import pytest
+
+from repro.core import FineTuner, GradientPruner
+from repro.eval import DefenderBudget, ScenarioConfig, evaluate_backdoor_metrics, get_profile
+from repro.models import PruningMask
+
+from conftest import write_text
+
+PROFILE = get_profile()
+VARIANTS = ("prune_only", "prune_ft_clean", "prune_ft_full", "ft_full_only")
+
+
+@pytest.fixture(scope="module")
+def scenario(runner):
+    config = ScenarioConfig(
+        dataset="synth_cifar",
+        model="preact_resnet18",
+        attack="blended",
+        n_train=PROFILE.n_train,
+        n_test=PROFILE.n_test,
+        n_reservoir=PROFILE.n_reservoir,
+        train_epochs=PROFILE.train_epochs,
+        seed=0,
+    )
+    return runner.prepare(config)
+
+
+def run_variant(scenario, variant: str):
+    data = DefenderBudget(spc=50, trial=0, seed=21).draw(
+        scenario.reservoir, attack=scenario.attack
+    )
+    model = copy.deepcopy(scenario.backdoored_model)
+    backdoor_train = data.backdoor_train()
+    backdoor_val = data.backdoor_val()
+    mask = PruningMask(model)
+
+    if variant.startswith("prune"):
+        pruner = GradientPruner(patience=5, batch_size=128)
+        pruner.prune(model, backdoor_train, data.clean_val, backdoor_val, mask=mask)
+
+    tuner = FineTuner(max_epochs=12, patience=4, seed=0)
+    if variant == "prune_ft_clean":
+        tuner.tune(model, data.clean_train, data.clean_val, mask=mask)
+    elif variant == "prune_ft_full":
+        tuner.tune(model, data.clean_train, data.clean_val, backdoor_train, backdoor_val, mask=mask)
+    elif variant == "ft_full_only":
+        tuner.tune(model, data.clean_train, data.clean_val, backdoor_train, backdoor_val)
+
+    metrics = evaluate_backdoor_metrics(model, scenario.test_set, scenario.attack)
+    row = (
+        f"A2 {variant:<16} ACC {metrics.acc * 100:6.2f} | "
+        f"ASR {metrics.asr * 100:6.2f} | RA {metrics.ra * 100:6.2f} "
+        f"(pruned {len(mask)})"
+    )
+    write_text(f"ablation_finetune_{variant}", row)
+    print("\n" + row)
+    return metrics
+
+
+@pytest.mark.parametrize("variant", VARIANTS)
+def test_ablation_finetune_variant(benchmark, scenario, variant):
+    metrics = benchmark.pedantic(run_variant, args=(scenario, variant), rounds=1, iterations=1)
+    assert 0.0 <= metrics.acc <= 1.0

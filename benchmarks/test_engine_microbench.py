@@ -1,0 +1,104 @@
+"""P1: substrate micro-benchmarks — conv forward/backward, BN, train step.
+
+These are honest pytest-benchmark timings (multiple rounds), documenting
+the numpy engine's throughput so table-bench runtimes are interpretable.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import ImageDataset
+from repro.models import build_model
+from repro.nn import SGD, Tensor, cross_entropy
+from repro.nn import functional as F
+from repro.training import TrainConfig, train_classifier
+
+RNG = np.random.default_rng(0)
+
+
+@pytest.fixture(scope="module")
+def conv_inputs():
+    x = Tensor(RNG.normal(size=(32, 16, 16, 16)).astype(np.float32), requires_grad=True)
+    w = Tensor(RNG.normal(size=(32, 16, 3, 3)).astype(np.float32), requires_grad=True)
+    return x, w
+
+
+def test_conv2d_forward(benchmark, conv_inputs):
+    x, w = conv_inputs
+    out = benchmark(lambda: F.conv2d(x, w, None, stride=1, padding=1))
+    assert out.shape == (32, 32, 16, 16)
+
+
+def test_conv2d_forward_backward(benchmark, conv_inputs):
+    x, w = conv_inputs
+
+    def step():
+        x.zero_grad()
+        w.zero_grad()
+        out = F.conv2d(x, w, None, stride=1, padding=1)
+        out.sum().backward()
+        return out
+
+    benchmark(step)
+    assert w.grad is not None
+
+
+def test_depthwise_conv_forward(benchmark):
+    x = Tensor(RNG.normal(size=(32, 32, 16, 16)).astype(np.float32))
+    w = Tensor(RNG.normal(size=(32, 1, 3, 3)).astype(np.float32))
+    out = benchmark(lambda: F.conv2d(x, w, None, padding=1, groups=32))
+    assert out.shape == (32, 32, 16, 16)
+
+
+def test_batch_norm_train_mode(benchmark):
+    x = Tensor(RNG.normal(size=(64, 32, 16, 16)).astype(np.float32), requires_grad=True)
+    weight = Tensor(np.ones(32, dtype=np.float32), requires_grad=True)
+    bias = Tensor(np.zeros(32, dtype=np.float32), requires_grad=True)
+    out = benchmark(lambda: F.batch_norm2d_train(x, weight, bias, 1e-5)[0])
+    assert out.shape == x.shape
+
+
+def test_model_inference_batch64(benchmark):
+    model = build_model("preact_resnet18")
+    model.eval()
+    x = Tensor(RNG.uniform(0, 1, (64, 3, 32, 32)).astype(np.float32))
+    from repro.nn import no_grad
+
+    def infer():
+        with no_grad():
+            return model(x)
+
+    out = benchmark(infer)
+    assert out.shape == (64, 10)
+
+
+def test_full_train_step(benchmark):
+    model = build_model("preact_resnet18")
+    model.train()
+    optimizer = SGD(model.parameters(), lr=0.01, momentum=0.9)
+    x = Tensor(RNG.uniform(0, 1, (64, 3, 32, 32)).astype(np.float32))
+    labels = RNG.integers(0, 10, 64)
+
+    def step():
+        logits = model(x)
+        loss = cross_entropy(logits, labels)
+        optimizer.zero_grad()
+        loss.backward()
+        optimizer.step()
+        return loss
+
+    loss = benchmark(step)
+    assert np.isfinite(loss.item())
+
+
+def test_one_epoch_tiny(benchmark):
+    images = RNG.uniform(0, 1, (128, 3, 32, 32)).astype(np.float32)
+    labels = np.arange(128) % 10
+    dataset = ImageDataset(images, labels)
+
+    def epoch():
+        model = build_model("preact_resnet18")
+        return train_classifier(model, dataset, TrainConfig(epochs=1, batch_size=64))
+
+    result = benchmark.pedantic(epoch, rounds=2, iterations=1)
+    assert len(result.losses) == 1

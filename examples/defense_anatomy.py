@@ -1,0 +1,104 @@
+"""Defense anatomy: watch Grad-Prune find the backdoor pathway.
+
+Runs the defense with full telemetry and answers three questions the
+paper's mechanism story raises:
+
+1. *Which filters get pruned?* — per-layer depth profile;
+2. *Were they the right ones?* — trigger-sensitivity of pruned vs kept
+   filters (normalized spatial-max activation response);
+3. *What did each pruning round do?* — unlearning loss + validation
+   accuracy per round, written as an SVG line plot.
+
+Run: ``python examples/defense_anatomy.py [--fast]``  (writes
+``defense_anatomy_history.svg`` to the working directory)
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.attacks import BadNetsAttack, train_backdoored_model
+from repro.core import (
+    FineTuner,
+    GradientPruner,
+    pruned_vs_kept_sensitivity,
+    pruning_depth_profile,
+    trigger_sensitivity,
+)
+from repro.data import make_synth_cifar
+from repro.data.splits import defender_split
+from repro.eval import evaluate_backdoor_metrics, pruning_history_svg
+from repro.models import PruningMask, build_model
+from repro.training import TrainConfig
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fast", action="store_true")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    n_train = 600 if args.fast else 1500
+    epochs = 5 if args.fast else 8
+
+    full, test = make_synth_cifar(n_train=n_train + 500, n_test=300, seed=args.seed)
+    train = full.subset(np.arange(n_train))
+    reservoir = full.subset(np.arange(n_train, n_train + 500))
+    attack = BadNetsAttack(target_class=0)
+
+    model = build_model("preact_resnet18", num_classes=10, seed=args.seed + 1)
+    print("training backdoored model...")
+    train_backdoored_model(
+        model, train, attack, poison_ratio=0.10,
+        config=TrainConfig(epochs=epochs, batch_size=64, lr=0.05),
+        rng=np.random.default_rng(args.seed + 2),
+    )
+    print(f"baseline: {evaluate_backdoor_metrics(model, test, attack)}")
+
+    # Ground-truth-ish signal measured BEFORE the defense touches anything.
+    print("measuring per-filter trigger sensitivity (pre-defense)...")
+    sensitivity = trigger_sensitivity(model, test, attack)
+
+    clean_train, clean_val = defender_split(reservoir, 20, np.random.default_rng(args.seed + 3))
+    mask = PruningMask(model)
+    pruner = GradientPruner(max_acc_drop=0.10, patience=5)
+    history = pruner.prune(
+        model,
+        attack.triggered_with_true_labels(clean_train),
+        clean_val,
+        attack.triggered_with_true_labels(clean_val),
+        mask=mask,
+    )
+    print(f"\npruning stopped: {history.stop_reason} ({history.num_pruned} filters)")
+
+    print("\n1. depth profile (pruned / total per conv layer):")
+    for name, pruned_count, total in pruning_depth_profile(model, mask.pruned_refs):
+        bar = "#" * pruned_count
+        print(f"   {name:<24} {pruned_count:>2}/{total:<3} {bar}")
+
+    if len(mask):
+        comparison = pruned_vs_kept_sensitivity(sensitivity, mask.pruned_refs)
+        print("\n2. trigger sensitivity: pruned vs kept filters")
+        print(f"   pruned mean = {comparison['pruned_mean']:.3f}")
+        print(f"   kept mean   = {comparison['kept_mean']:.3f}")
+        print(f"   ratio       = {comparison['ratio']:.2f}x "
+              f"({'the defense targeted trigger-responsive filters' if comparison['ratio'] > 1 else 'inconclusive'})")
+
+    if history.num_pruned:
+        svg = pruning_history_svg(history, title="Grad-Prune rounds")
+        with open("defense_anatomy_history.svg", "w") as handle:
+            handle.write(svg)
+        print("\n3. per-round history written to defense_anatomy_history.svg")
+
+    tuner = FineTuner(max_epochs=12, patience=4, seed=args.seed)
+    tuner.tune(
+        model, clean_train, clean_val,
+        attack.triggered_with_true_labels(clean_train),
+        attack.triggered_with_true_labels(clean_val),
+        mask=mask,
+    )
+    print(f"\nafter fine-tuning: {evaluate_backdoor_metrics(model, test, attack)}")
+
+
+if __name__ == "__main__":
+    main()

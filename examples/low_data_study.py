@@ -1,0 +1,90 @@
+"""Low-data study: how much clean data does the defender really need?
+
+The paper's central evaluation axis (§V-B) is the defender's data budget,
+measured in samples per class (SPC).  This example sweeps SPC for
+Grad-Prune and plain fine-tuning on one backdoored model, showing the
+paper's qualitative finding: fine-tuning collapses in low-data settings
+while gradient-informed pruning degrades gracefully (pruning needs
+gradients, not gradient *steps*, so a handful of samples already carries
+signal).
+
+Run: ``python examples/low_data_study.py [--fast]``
+"""
+
+import argparse
+import copy
+import time
+
+import numpy as np
+
+from repro.attacks import BadNetsAttack, train_backdoored_model
+from repro.data import make_synth_cifar
+from repro.data.splits import defender_split
+from repro.defenses import build_defense
+from repro.defenses.base import DefenderData
+from repro.eval import evaluate_backdoor_metrics
+from repro.models import build_model
+from repro.training import TrainConfig
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fast", action="store_true")
+    parser.add_argument("--trials", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    spc_values = (2, 10) if args.fast else (2, 10, 50)
+    n_train = 600 if args.fast else 1500
+    n_reservoir = 600
+    epochs = 5 if args.fast else 8
+
+    full_train, test = make_synth_cifar(
+        n_train=n_train + n_reservoir, n_test=300, seed=args.seed
+    )
+    train = full_train.subset(np.arange(n_train))
+    reservoir = full_train.subset(np.arange(n_train, n_train + n_reservoir))
+    attack = BadNetsAttack(target_class=0)
+
+    model = build_model("preact_resnet18", num_classes=10, seed=args.seed + 1)
+    print("training backdoored model...")
+    train_backdoored_model(
+        model, train, attack, poison_ratio=0.10,
+        config=TrainConfig(epochs=epochs, batch_size=64, lr=0.05),
+        rng=np.random.default_rng(args.seed + 2),
+    )
+    baseline = evaluate_backdoor_metrics(model, test, attack)
+    print(f"baseline: {baseline}\n")
+
+    defenses = {
+        "ft": {"epochs": 10},
+        "grad_prune": {"prune_patience": 5, "tune_max_epochs": 12},
+    }
+    print(f"{'SPC':>4} {'defense':<12} {'ACC %':>12} {'ASR %':>12} {'RA %':>12}")
+    for spc in spc_values:
+        for name, kwargs in defenses.items():
+            accs, asrs, ras = [], [], []
+            for trial in range(args.trials):
+                clean_train, clean_val = defender_split(
+                    reservoir, spc=spc,
+                    rng=np.random.default_rng(args.seed + 100 * trial + spc),
+                )
+                data = DefenderData(clean_train, clean_val, attack)
+                candidate = copy.deepcopy(model)
+                build_defense(name, **kwargs).apply(candidate, data)
+                metrics = evaluate_backdoor_metrics(candidate, test, attack)
+                accs.append(metrics.acc)
+                asrs.append(metrics.asr)
+                ras.append(metrics.ra)
+            print(
+                f"{spc:>4} {name:<12} "
+                f"{np.mean(accs) * 100:6.2f}±{np.std(accs) * 100:4.2f} "
+                f"{np.mean(asrs) * 100:6.2f}±{np.std(asrs) * 100:4.2f} "
+                f"{np.mean(ras) * 100:6.2f}±{np.std(ras) * 100:4.2f}"
+            )
+    print("\nExpected shape: grad_prune holds low ASR even at SPC=2, while ft")
+    print("needs the larger budgets to move ASR at all.")
+
+
+if __name__ == "__main__":
+    main()

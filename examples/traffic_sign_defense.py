@@ -1,0 +1,91 @@
+"""Traffic-sign scenario: the paper's motivating deployment (§I).
+
+A driver-assistance vendor outsources training of a traffic-sign classifier
+and receives a model with an embedded Blended backdoor: any sign with a
+faint full-image pattern is read as class 0 ("speed limit lifted", say).
+The vendor holds only a small set of verified sign photos.
+
+This example compares three mitigation options on a SynthGTSRB task with a
+MobileNetV3-Large backbone (the paper's hardest architecture):
+
+- FT-SAM (strongest fine-tuning baseline),
+- ANP (adversarial neuron pruning baseline),
+- Grad-Prune (the paper's gradient-based unlearning pruning).
+
+Run: ``python examples/traffic_sign_defense.py [--fast]``
+"""
+
+import argparse
+import copy
+import time
+
+import numpy as np
+
+from repro.attacks import BlendedAttack, train_backdoored_model
+from repro.data import make_synth_gtsrb
+from repro.data.splits import defender_split
+from repro.defenses import build_defense
+from repro.defenses.base import DefenderData
+from repro.eval import evaluate_backdoor_metrics
+from repro.models import build_model
+from repro.training import TrainConfig
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fast", action="store_true")
+    parser.add_argument("--spc", type=int, default=10)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    n_train = 500 if args.fast else 1200
+    n_reservoir = 350 if args.fast else 700
+    epochs = 5 if args.fast else 8
+    num_classes = 8 if args.fast else 12
+
+    print("== Traffic-sign task (SynthGTSRB) with a Blended backdoor")
+    full_train, test = make_synth_gtsrb(
+        n_train=n_train + n_reservoir, n_test=300, num_classes=num_classes, seed=args.seed
+    )
+    train = full_train.subset(np.arange(n_train))
+    reservoir = full_train.subset(np.arange(n_train, n_train + n_reservoir))
+    attack = BlendedAttack(target_class=0, blend_ratio=0.25)
+
+    model = build_model("mobilenet_v3_large", num_classes=num_classes, seed=args.seed + 1)
+    print(f"   MobileNetV3-Large: {model.num_parameters():,} parameters")
+    start = time.time()
+    train_backdoored_model(
+        model, train, attack, poison_ratio=0.10,
+        config=TrainConfig(epochs=epochs, batch_size=64, lr=0.05),
+        rng=np.random.default_rng(args.seed + 2),
+    )
+    baseline = evaluate_backdoor_metrics(model, test, attack)
+    print(f"   adversary training: {time.time() - start:.0f}s; baseline {baseline}")
+
+    clean_train, clean_val = defender_split(
+        reservoir, spc=args.spc, rng=np.random.default_rng(args.seed + 3)
+    )
+    data = DefenderData(clean_train=clean_train, clean_val=clean_val, attack=attack)
+
+    defenses = {
+        "ft_sam": {"epochs": 8 if args.fast else 15},
+        "anp": {"steps": 40 if args.fast else 100},
+        "grad_prune": {"prune_patience": 5, "tune_max_epochs": 10 if args.fast else 20},
+    }
+    print(f"\n{'defense':<12} {'ACC %':>7} {'ASR %':>7} {'RA %':>7} {'time':>6}")
+    print(f"{'baseline':<12} {baseline.acc * 100:7.2f} {baseline.asr * 100:7.2f} "
+          f"{baseline.ra * 100:7.2f} {'-':>6}")
+    for name, kwargs in defenses.items():
+        candidate = copy.deepcopy(model)
+        start = time.time()
+        build_defense(name, **kwargs).apply(candidate, data)
+        metrics = evaluate_backdoor_metrics(candidate, test, attack)
+        print(f"{name:<12} {metrics.acc * 100:7.2f} {metrics.asr * 100:7.2f} "
+              f"{metrics.ra * 100:7.2f} {time.time() - start:5.0f}s")
+
+    print("\nReading the rows: a good defense keeps ACC near baseline, drives ASR")
+    print("toward zero, and lifts RA (triggered signs read correctly again).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+"""Trigger inversion: defending when the real trigger is unknown.
+
+The paper assumes the defender can synthesize triggered inputs (§III-C) and
+names removing that assumption as future work (§VI).  This example runs the
+full trigger-free pipeline on a BadNets-backdoored model:
+
+1. Neural-Cleanse-style detection: invert a minimal trigger per class and
+   flag the class whose trigger is an anomalously small L1 outlier;
+2. wrap the inverted (mask, pattern) as a synthesized attack;
+3. run Grad-Prune against the synthesized trigger;
+4. score the defended model against the REAL trigger to see how much of the
+   backdoor the approximation removed.
+
+Run: ``python examples/trigger_inversion.py [--fast]``
+"""
+
+import argparse
+import time
+
+import numpy as np
+
+from repro.attacks import BadNetsAttack, train_backdoored_model
+from repro.core import GradPruneConfig
+from repro.data import make_synth_cifar
+from repro.data.splits import defender_split
+from repro.defenses.base import DefenderData
+from repro.eval import evaluate_backdoor_metrics
+from repro.models import build_model
+from repro.synthesis import detect_backdoor, grad_prune_without_trigger
+from repro.training import TrainConfig
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fast", action="store_true")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    n_train = 600 if args.fast else 1500
+    epochs = 5 if args.fast else 8
+    steps = 100 if args.fast else 250
+
+    full_train, test = make_synth_cifar(n_train=n_train + 500, n_test=300, seed=args.seed)
+    train = full_train.subset(np.arange(n_train))
+    reservoir = full_train.subset(np.arange(n_train, n_train + 500))
+    attack = BadNetsAttack(target_class=0)
+
+    print("== adversary: BadNets, target class 0 (the defender does NOT know this)")
+    model = build_model("preact_resnet18", num_classes=10, seed=args.seed + 1)
+    train_backdoored_model(
+        model, train, attack, poison_ratio=0.10,
+        config=TrainConfig(epochs=epochs, batch_size=64, lr=0.05),
+        rng=np.random.default_rng(args.seed + 2),
+    )
+    baseline = evaluate_backdoor_metrics(model, test, attack)
+    print(f"   baseline: {baseline}")
+
+    clean_train, clean_val = defender_split(reservoir, 10, np.random.default_rng(args.seed + 3))
+
+    print("== step 1: per-class trigger inversion + anomaly detection")
+    start = time.time()
+    detection = detect_backdoor(
+        model, clean_train.concat(clean_val), num_classes=10, steps=steps, seed=args.seed
+    )
+    print(f"   {time.time() - start:.0f}s; per-class inverted-mask L1:")
+    for cls, (l1, anomaly) in enumerate(zip(detection["mask_l1"], detection["anomaly_index"])):
+        marker = "  <-- flagged" if cls in detection["flagged_classes"] else ""
+        print(f"     class {cls}: L1={l1:7.2f} anomaly={anomaly:+5.2f}{marker}")
+
+    print("== steps 2-3: Grad-Prune with the synthesized trigger")
+    data = DefenderData(clean_train, clean_val, attack=None)
+    start = time.time()
+    report, synth = grad_prune_without_trigger(
+        model, data, num_classes=10,
+        config=GradPruneConfig(prune_patience=5, tune_max_epochs=10),
+        inversion_steps=steps, seed=args.seed,
+    )
+    print(f"   {time.time() - start:.0f}s; detected target={report.details['synthesized_target']} "
+          f"(true target: 0); inverted-trigger flip rate "
+          f"{report.details['trigger_flip_rate'] * 100:.0f}%")
+
+    print("== step 4: score against the REAL trigger")
+    defended = evaluate_backdoor_metrics(model, test, attack)
+    print(f"   before: {baseline}")
+    print(f"   after:  {defended}")
+    if defended.asr < baseline.asr * 0.5:
+        print("   => the synthesized trigger carried enough signal to break the real backdoor")
+    else:
+        print("   => partial mitigation; detection/inversion quality limits the trigger-free"
+              " pipeline (exactly why the paper lists this as future work)")
+
+
+if __name__ == "__main__":
+    main()

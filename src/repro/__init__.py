@@ -1,0 +1,44 @@
+"""Reproduction of "Unlearning Backdoor Attacks through Gradient-Based Model
+Pruning" (Dunnett et al., DSN 2024).
+
+Top-level packages
+------------------
+``repro.nn``
+    From-scratch numpy autograd / CNN substrate (replaces PyTorch).
+``repro.models``
+    PreactResNet-18, VGG-19+BN, EfficientNet-B3, MobileNetV3-Large (scaled).
+``repro.data``
+    Synthetic CIFAR-10-like and GTSRB-like datasets, loaders, SPC sampling.
+``repro.attacks``
+    BadNets, Blended, Low-Frequency, BPP backdoor attacks + poisoner.
+``repro.defenses``
+    Baselines: FT, Fine-Pruning, NAD, CLP, FT-SAM, ANP.
+``repro.core``
+    The paper's contribution: gradient-based unlearning pruning (Grad-Prune).
+``repro.eval``
+    BackdoorBench-style ACC/ASR/RA evaluation harness.
+"""
+
+__version__ = "1.0.0"
+
+from . import nn  # noqa: F401  (ensure substrate import order)
+from . import attacks, core, data, defenses, eval, federated, models, synthesis, utils  # noqa: F401
+from .training import TrainConfig, evaluate_accuracy, predict, train_classifier
+
+__all__ = [
+    "nn",
+    "models",
+    "data",
+    "attacks",
+    "defenses",
+    "core",
+    "eval",
+    "federated",
+    "synthesis",
+    "utils",
+    "TrainConfig",
+    "train_classifier",
+    "evaluate_accuracy",
+    "predict",
+    "__version__",
+]

@@ -1,0 +1,67 @@
+"""BadNets (Gu et al., 2019): the seminal patch-trigger backdoor.
+
+A small high-contrast checkerboard square is stamped into a fixed image
+corner; any input carrying the patch is labeled with the target class during
+poisoning.  This reproduces BackdoorBench's default 3x3 bottom-right
+checker patch (scaled to the configured patch size).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .base import BackdoorAttack
+
+__all__ = ["BadNetsAttack"]
+
+
+class BadNetsAttack(BackdoorAttack):
+    """Checkerboard corner-patch trigger.
+
+    Parameters
+    ----------
+    patch_size:
+        Side length of the square patch in pixels.
+    corner:
+        One of ``"br"``, ``"bl"``, ``"tr"``, ``"tl"``.
+    """
+
+    name = "badnets"
+
+    def __init__(
+        self,
+        target_class: int = 0,
+        image_shape: Tuple[int, int, int] = (3, 32, 32),
+        patch_size: int = 3,
+        corner: str = "br",
+        seed: int = 0,
+    ) -> None:
+        super().__init__(target_class, image_shape, seed)
+        c, h, w = self.image_shape
+        if not 0 < patch_size <= min(h, w):
+            raise ValueError(f"patch_size {patch_size} out of range for {h}x{w} images")
+        self.patch_size = patch_size
+        self.corner = corner
+        checker = np.indices((patch_size, patch_size)).sum(axis=0) % 2
+        self._patch = np.broadcast_to(checker, (c, patch_size, patch_size)).astype(np.float32)
+        if corner == "br":
+            self._rows = slice(h - patch_size, h)
+            self._cols = slice(w - patch_size, w)
+        elif corner == "bl":
+            self._rows = slice(h - patch_size, h)
+            self._cols = slice(0, patch_size)
+        elif corner == "tr":
+            self._rows = slice(0, patch_size)
+            self._cols = slice(w - patch_size, w)
+        elif corner == "tl":
+            self._rows = slice(0, patch_size)
+            self._cols = slice(0, patch_size)
+        else:
+            raise ValueError(f"unknown corner {corner!r}")
+
+    def apply(self, images: np.ndarray) -> np.ndarray:
+        images = self._check(images).copy()
+        images[:, :, self._rows, self._cols] = self._patch
+        return images

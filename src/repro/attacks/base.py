@@ -1,0 +1,66 @@
+"""Backdoor attack interface.
+
+An attack is a deterministic trigger-application function plus metadata
+(name, target class).  Determinism matters twice: the adversary applies the
+same trigger when poisoning training data and the *defender* re-applies it
+when synthesizing backdoor inputs (paper assumption III-C).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Tuple
+
+import numpy as np
+
+from ..data.dataset import ImageDataset
+
+__all__ = ["BackdoorAttack"]
+
+
+class BackdoorAttack(ABC):
+    """Base class for targeted (all-to-one) backdoor attacks.
+
+    Parameters
+    ----------
+    target_class:
+        The label every triggered input should be classified as (the paper
+        uses 0 throughout).
+    image_shape:
+        Expected ``(C, H, W)`` of inputs, used to precompute trigger arrays.
+    seed:
+        Seed for any random trigger content; fixes the trigger pattern.
+    """
+
+    name: str = "base"
+
+    def __init__(self, target_class: int = 0, image_shape: Tuple[int, int, int] = (3, 32, 32), seed: int = 0) -> None:
+        self.target_class = target_class
+        self.image_shape = tuple(image_shape)
+        self.seed = seed
+
+    @abstractmethod
+    def apply(self, images: np.ndarray) -> np.ndarray:
+        """Return triggered copies of ``images`` (shape (N, C, H, W), values in [0, 1])."""
+
+    def poisoned_copy(self, dataset: ImageDataset) -> ImageDataset:
+        """Triggered images, all labeled with the target class (ASR-style labels)."""
+        triggered = self.apply(dataset.images)
+        labels = np.full(len(dataset), self.target_class, dtype=np.int64)
+        return ImageDataset(triggered, labels)
+
+    def triggered_with_true_labels(self, dataset: ImageDataset) -> ImageDataset:
+        """Triggered images keeping their true labels (RA-style / unlearning data)."""
+        return ImageDataset(self.apply(dataset.images), dataset.labels.copy())
+
+    def _check(self, images: np.ndarray) -> np.ndarray:
+        images = np.asarray(images, dtype=np.float32)
+        if images.ndim != 4 or images.shape[1:] != self.image_shape:
+            raise ValueError(
+                f"{self.name}: expected (N, {self.image_shape[0]}, {self.image_shape[1]}, "
+                f"{self.image_shape[2]}), got {images.shape}"
+            )
+        return images
+
+    def __repr__(self) -> str:
+        return f"{self.__class__.__name__}(target={self.target_class})"

@@ -1,0 +1,64 @@
+"""Blended attack (Chen et al., 2017): whole-image alpha-blend trigger.
+
+The original work blends a "Hello Kitty" photograph into every poisoned
+image at low opacity.  No image assets exist offline, so the trigger is a
+fixed, seed-determined smooth color pattern with equivalent spectral
+character (global, low-frequency, covering the whole image) — the property
+that makes Blended hard for patch-oriented defenses.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .base import BackdoorAttack
+
+__all__ = ["BlendedAttack"]
+
+
+def _make_blend_pattern(shape: Tuple[int, int, int], seed: int) -> np.ndarray:
+    """A fixed smooth full-image RGB pattern standing in for the blend photo."""
+    c, h, w = shape
+    rng = np.random.default_rng(seed)
+    yy, xx = np.mgrid[0:h, 0:w].astype(np.float32)
+    pattern = np.zeros((c, h, w), dtype=np.float32)
+    for channel in range(c):
+        freq_y = rng.uniform(0.5, 2.0)
+        freq_x = rng.uniform(0.5, 2.0)
+        phase = rng.uniform(0, 2 * np.pi)
+        wave = np.sin(2 * np.pi * (freq_y * yy / h + freq_x * xx / w) + phase)
+        pattern[channel] = 0.5 + 0.5 * wave
+    return pattern
+
+
+class BlendedAttack(BackdoorAttack):
+    """Alpha-blend a fixed global pattern into the image.
+
+    Parameters
+    ----------
+    blend_ratio:
+        Trigger opacity alpha; poisoned image = (1 - alpha) * x + alpha * pattern.
+        BackdoorBench's default is 0.2.
+    """
+
+    name = "blended"
+
+    def __init__(
+        self,
+        target_class: int = 0,
+        image_shape: Tuple[int, int, int] = (3, 32, 32),
+        blend_ratio: float = 0.2,
+        seed: int = 7,
+    ) -> None:
+        super().__init__(target_class, image_shape, seed)
+        if not 0.0 < blend_ratio < 1.0:
+            raise ValueError(f"blend_ratio must be in (0, 1), got {blend_ratio}")
+        self.blend_ratio = blend_ratio
+        self.pattern = _make_blend_pattern(self.image_shape, seed)
+
+    def apply(self, images: np.ndarray) -> np.ndarray:
+        images = self._check(images)
+        blended = (1.0 - self.blend_ratio) * images + self.blend_ratio * self.pattern[None]
+        return np.clip(blended, 0.0, 1.0).astype(np.float32)

@@ -1,0 +1,80 @@
+"""Dynamic (input-dependent) patch attack.
+
+Paper §III-B notes that in attacks like LIRA the trigger pattern "may vary
+with the input, rendering it dynamic".  Full LIRA jointly trains a trigger
+generator network; this class implements the *deterministic-function-of-
+the-input* essence without the generator: the patch location is derived
+from the image's own content (the brightest cell of a coarse grid), so no
+two images need carry the trigger in the same place, while the mapping
+stays reproducible for defender-side synthesis (assumption III-C).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .base import BackdoorAttack
+
+__all__ = ["DynamicPatchAttack"]
+
+
+class DynamicPatchAttack(BackdoorAttack):
+    """Content-keyed patch placement.
+
+    The image is divided into a ``grid x grid`` lattice; the checker patch
+    is stamped into the lattice cell with the highest mean brightness.
+    Deterministic given the image, but varies across images — defeating
+    defenses that assume a fixed trigger location.
+
+    Parameters
+    ----------
+    patch_size:
+        Side length of the stamped checker patch.
+    grid:
+        Lattice resolution for the placement function.
+    """
+
+    name = "dynamic_patch"
+
+    def __init__(
+        self,
+        target_class: int = 0,
+        image_shape: Tuple[int, int, int] = (3, 32, 32),
+        patch_size: int = 3,
+        grid: int = 4,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(target_class, image_shape, seed)
+        c, h, w = self.image_shape
+        if not 0 < patch_size <= min(h, w) // 2:
+            raise ValueError(f"patch_size {patch_size} out of range for {h}x{w}")
+        if grid < 2 or h % grid or w % grid:
+            raise ValueError(f"grid {grid} must be >= 2 and divide the image size {h}x{w}")
+        self.patch_size = patch_size
+        self.grid = grid
+        checker = np.indices((patch_size, patch_size)).sum(axis=0) % 2
+        self._patch = np.broadcast_to(checker, (c, patch_size, patch_size)).astype(np.float32)
+
+    def _locations(self, images: np.ndarray) -> np.ndarray:
+        """Per-image (row, col) of the brightest lattice cell's top-left corner."""
+        n, c, h, w = images.shape
+        cell_h, cell_w = h // self.grid, w // self.grid
+        cells = images.reshape(n, c, self.grid, cell_h, self.grid, cell_w)
+        brightness = cells.mean(axis=(1, 3, 5))  # (N, grid, grid)
+        flat = brightness.reshape(n, -1).argmax(axis=1)
+        rows = (flat // self.grid) * cell_h
+        cols = (flat % self.grid) * cell_w
+        # Clamp so the patch stays inside the image.
+        rows = np.minimum(rows, h - self.patch_size)
+        cols = np.minimum(cols, w - self.patch_size)
+        return np.stack([rows, cols], axis=1)
+
+    def apply(self, images: np.ndarray) -> np.ndarray:
+        images = self._check(images).copy()
+        locations = self._locations(images)
+        p = self.patch_size
+        for i, (row, col) in enumerate(locations):
+            images[i, :, row : row + p, col : col + p] = self._patch
+        return images

@@ -1,0 +1,108 @@
+"""Training-set poisoning and backdoored-model creation.
+
+Implements the paper's threat model (§III-B): the adversary poisons a
+fraction of the training set (default 10 %, all-to-one, target class 0) and
+trains the model on the union of clean and triggered data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..data.dataset import ImageDataset
+from ..nn.module import Module
+from ..training import TrainConfig, TrainResult, train_classifier
+from .base import BackdoorAttack
+
+__all__ = ["PoisonInfo", "poison_dataset", "train_backdoored_model"]
+
+
+@dataclass
+class PoisonInfo:
+    """Bookkeeping for a poisoning run."""
+
+    poisoned_indices: np.ndarray
+    poison_ratio: float
+    target_class: int
+
+
+def poison_dataset(
+    dataset: ImageDataset,
+    attack: BackdoorAttack,
+    poison_ratio: float = 0.1,
+    rng: Optional[np.random.Generator] = None,
+    exclude_target_class: bool = True,
+    relabel: str = "all_to_one",
+) -> Tuple[ImageDataset, PoisonInfo]:
+    """Return a poisoned copy of ``dataset`` and the poisoning bookkeeping.
+
+    A ``poison_ratio`` fraction of samples receive the trigger and have
+    their labels rewritten per ``relabel``:
+
+    - ``"all_to_one"`` (the paper's evaluation setting): every poisoned
+      sample gets the attack's static target class; target-class samples
+      are excluded from selection by default (poisoning them teaches
+      nothing).
+    - ``"all_to_all"`` (Zhao et al., cited in paper §II-A): each poisoned
+      sample of class ``y`` is relabeled ``(y + 1) mod n``; every class
+      participates, so ``exclude_target_class`` is ignored.
+    - ``"clean_label"`` (Barni et al.'s SIG protocol, paper §II-A): the
+      trigger is added to *target-class* samples only and **no label is
+      changed** — the model learns to associate the trigger with the target
+      because it only ever co-occurs with it.  ``poison_ratio`` is the
+      fraction of *target-class* samples poisoned.
+    """
+    if not 0.0 < poison_ratio < 1.0:
+        raise ValueError(f"poison_ratio must be in (0, 1), got {poison_ratio}")
+    if relabel not in ("all_to_one", "all_to_all", "clean_label"):
+        raise ValueError(f"unknown relabel mode {relabel!r}")
+    rng = rng if rng is not None else np.random.default_rng()
+    candidates = np.arange(len(dataset))
+    if relabel == "all_to_one" and exclude_target_class:
+        candidates = candidates[dataset.labels != attack.target_class]
+    elif relabel == "clean_label":
+        candidates = candidates[dataset.labels == attack.target_class]
+        if len(candidates) == 0:
+            raise ValueError("clean-label poisoning needs target-class samples")
+    if relabel == "clean_label":
+        n_poison = int(round(poison_ratio * len(candidates)))
+    else:
+        n_poison = int(round(poison_ratio * len(dataset)))
+    n_poison = min(n_poison, len(candidates))
+    if n_poison == 0:
+        raise ValueError("poison_ratio too small: zero samples would be poisoned")
+    chosen = rng.choice(candidates, size=n_poison, replace=False)
+
+    images = dataset.images.copy()
+    labels = dataset.labels.copy()
+    images[chosen] = attack.apply(dataset.images[chosen])
+    if relabel == "all_to_one":
+        labels[chosen] = attack.target_class
+    elif relabel == "all_to_all":
+        num_classes = dataset.num_classes
+        labels[chosen] = (labels[chosen] + 1) % num_classes
+    # clean_label: labels untouched by construction.
+    info = PoisonInfo(
+        poisoned_indices=np.sort(chosen),
+        poison_ratio=poison_ratio,
+        target_class=attack.target_class,
+    )
+    return ImageDataset(images, labels), info
+
+
+def train_backdoored_model(
+    model: Module,
+    train_set: ImageDataset,
+    attack: BackdoorAttack,
+    poison_ratio: float = 0.1,
+    config: Optional[TrainConfig] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> Tuple[TrainResult, PoisonInfo]:
+    """Poison ``train_set`` and train ``model`` on it (adversary's procedure)."""
+    rng = rng if rng is not None else np.random.default_rng()
+    poisoned, info = poison_dataset(train_set, attack, poison_ratio, rng)
+    result = train_classifier(model, poisoned, config)
+    return result, info

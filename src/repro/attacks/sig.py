@@ -1,0 +1,58 @@
+"""SIG attack (Barni et al., 2019): sinusoidal-signal backdoor.
+
+Cited in paper §II-A: a horizontal sinusoid of small amplitude is added to
+target-class training images *without label poisoning*; at test time the
+same sinusoid steers any image to the target class.  The clean-label
+variant needs the superimposed-signal poisoning mode below; the standard
+all-to-one poisoner also works and is what the registry exposes.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .base import BackdoorAttack
+
+__all__ = ["SIGAttack"]
+
+
+class SIGAttack(BackdoorAttack):
+    """Additive horizontal sinusoid trigger.
+
+    Parameters
+    ----------
+    amplitude:
+        Peak perturbation (images in [0, 1]; the original uses 20-40/255).
+    frequency:
+        Full periods across the image width.
+    """
+
+    name = "sig"
+
+    def __init__(
+        self,
+        target_class: int = 0,
+        image_shape: Tuple[int, int, int] = (3, 32, 32),
+        amplitude: float = 0.12,
+        frequency: float = 6.0,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(target_class, image_shape, seed)
+        if amplitude <= 0:
+            raise ValueError(f"amplitude must be positive, got {amplitude}")
+        if frequency <= 0:
+            raise ValueError(f"frequency must be positive, got {frequency}")
+        self.amplitude = amplitude
+        self.frequency = frequency
+        _, _, w = self.image_shape
+        columns = np.arange(w, dtype=np.float32)
+        self.signal = (amplitude * np.sin(2.0 * np.pi * columns * frequency / w)).astype(
+            np.float32
+        )
+
+    def apply(self, images: np.ndarray) -> np.ndarray:
+        images = self._check(images)
+        # Broadcast over batch, channels, and rows.
+        return np.clip(images + self.signal[None, None, None, :], 0.0, 1.0).astype(np.float32)

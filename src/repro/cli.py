@@ -1,0 +1,195 @@
+"""Command-line interface.
+
+Examples::
+
+    python -m repro list                         # what can I run?
+    python -m repro demo --fast                  # quickstart pipeline
+    python -m repro experiment table1            # regenerate a paper table
+    python -m repro experiment figure2 --models preact_resnet18
+    python -m repro attack badnets --model vgg19_bn   # train + report baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .attacks import ATTACK_REGISTRY
+from .defenses import DEFENSE_REGISTRY
+from .eval import (
+    EXPERIMENT_IDS,
+    BenchmarkRunner,
+    ScenarioConfig,
+    experiment_spec,
+    run_experiment,
+)
+from .models import MODEL_NAMES
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Unlearning Backdoor Attacks through "
+        "Gradient-Based Model Pruning' (DSN 2024)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available models, attacks, defenses, experiments")
+
+    demo = sub.add_parser("demo", help="run the quickstart pipeline")
+    demo.add_argument("--fast", action="store_true")
+    demo.add_argument("--spc", type=int, default=10)
+    demo.add_argument("--seed", type=int, default=0)
+
+    experiment = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    experiment.add_argument("experiment_id", choices=[e for e in EXPERIMENT_IDS if e.startswith(("table", "figure"))])
+    experiment.add_argument("--profile", choices=("quick", "paper"), default=None)
+    experiment.add_argument("--attacks", nargs="+", default=None)
+    experiment.add_argument("--models", nargs="+", default=None)
+    experiment.add_argument("--seed", type=int, default=0)
+
+    attack = sub.add_parser("attack", help="train one backdoored model and report baseline metrics")
+    attack.add_argument("attack_name", choices=sorted(ATTACK_REGISTRY))
+    attack.add_argument("--model", choices=MODEL_NAMES, default="preact_resnet18")
+    attack.add_argument("--dataset", choices=("synth_cifar", "synth_gtsrb"), default="synth_cifar")
+    attack.add_argument("--epochs", type=int, default=6)
+    attack.add_argument("--seed", type=int, default=0)
+
+    defend = sub.add_parser("defend", help="attack then defend; report before/after metrics")
+    defend.add_argument("attack_name", choices=sorted(ATTACK_REGISTRY))
+    defend.add_argument("defense_name", choices=sorted(DEFENSE_REGISTRY))
+    defend.add_argument("--model", choices=MODEL_NAMES, default="preact_resnet18")
+    defend.add_argument("--dataset", choices=("synth_cifar", "synth_gtsrb"), default="synth_cifar")
+    defend.add_argument("--spc", type=int, default=10)
+    defend.add_argument("--epochs", type=int, default=6)
+    defend.add_argument("--seed", type=int, default=0)
+
+    claims = sub.add_parser(
+        "claims", help="check paper-shape claims against stored benchmark results"
+    )
+    claims.add_argument(
+        "--dir", default="benchmarks/out", help="directory holding table*_<attack>.json files"
+    )
+    return parser
+
+
+def _cmd_list() -> int:
+    print("models:      " + ", ".join(MODEL_NAMES))
+    print("attacks:     " + ", ".join(sorted(ATTACK_REGISTRY)))
+    print("defenses:    " + ", ".join(sorted(DEFENSE_REGISTRY)))
+    print("experiments: " + ", ".join(e for e in EXPERIMENT_IDS if e.startswith(("table", "figure"))))
+    return 0
+
+
+def _cmd_demo(args) -> int:
+    # Reuse the quickstart example's flow without importing from examples/.
+    import runpy
+    import os
+
+    example = os.path.join(os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__)))), "examples", "quickstart.py")
+    argv = ["quickstart.py"]
+    if args.fast:
+        argv.append("--fast")
+    argv += ["--spc", str(args.spc), "--seed", str(args.seed)]
+    old_argv = sys.argv
+    try:
+        sys.argv = argv
+        runpy.run_path(example, run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    spec = experiment_spec(args.experiment_id, profile=args.profile)
+    result = run_experiment(
+        spec,
+        attacks=tuple(args.attacks) if args.attacks else None,
+        models=tuple(args.models) if args.models else None,
+        root_seed=args.seed,
+    )
+    print(result.table_text())
+    return 0
+
+
+def _scenario(args, attack_name: str) -> ScenarioConfig:
+    num_classes = 10 if args.dataset == "synth_cifar" else 12
+    return ScenarioConfig(
+        dataset=args.dataset,
+        model=args.model,
+        attack=attack_name,
+        num_classes=num_classes,
+        train_epochs=args.epochs,
+        seed=args.seed,
+    )
+
+
+def _cmd_attack(args) -> int:
+    runner = BenchmarkRunner(verbose=True)
+    scenario = runner.prepare(_scenario(args, args.attack_name))
+    print(f"baseline ({args.attack_name} on {args.model}/{args.dataset}): {scenario.baseline}")
+    return 0
+
+
+def _cmd_defend(args) -> int:
+    from .eval import DefenderBudget
+
+    runner = BenchmarkRunner(verbose=True)
+    scenario = runner.prepare(_scenario(args, args.attack_name))
+    print(f"baseline: {scenario.baseline}")
+    result = runner.run_defense_trial(
+        scenario, args.defense_name, DefenderBudget(spc=args.spc, trial=0, seed=args.seed + 7)
+    )
+    print(f"after {args.defense_name} (SPC={args.spc}): {result.metrics}")
+    return 0
+
+
+def _cmd_claims(args) -> int:
+    import glob
+    import json
+    import os
+
+    from .eval import AggregateResult, BackdoorMetrics, check_table_claims, format_verdicts
+
+    paths = sorted(glob.glob(os.path.join(args.dir, "table*_*.json")))
+    if not paths:
+        print(f"no table*_<attack>.json files under {args.dir}; run the benchmarks first")
+        return 1
+    any_failed = False
+    for path in paths:
+        with open(path) as handle:
+            payload = json.load(handle)
+        aggregates = [AggregateResult(**a) for a in payload["aggregates"]]
+        baseline = BackdoorMetrics(**payload["baseline"]) if payload.get("baseline") else None
+        if baseline is None:
+            continue
+        verdicts = check_table_claims(aggregates, baseline)
+        name = os.path.splitext(os.path.basename(path))[0]
+        print(format_verdicts(verdicts, header=name))
+        any_failed |= any(not v.passed for v in verdicts)
+    return 1 if any_failed else 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "demo":
+        return _cmd_demo(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    if args.command == "attack":
+        return _cmd_attack(args)
+    if args.command == "defend":
+        return _cmd_defend(args)
+    if args.command == "claims":
+        return _cmd_claims(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

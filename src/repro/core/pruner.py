@@ -1,0 +1,173 @@
+"""Iterative gradient-based filter pruning (paper §IV-B).
+
+Each round:
+
+1. compute Eq. 3 scores on the defender's *training* backdoor data;
+2. prune the filter with the highest ξ (zero its weights and bias);
+3. re-evaluate the unlearning loss and the main-task (clean) accuracy on the
+   held-out *validation* data.
+
+The loop stops when the validation clean accuracy falls below the threshold
+``alpha`` (the offending prune is rolled back) or when the validation
+unlearning loss fails to improve for ``patience`` (= the paper's ``P_p``)
+consecutive rounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..data.dataset import ImageDataset
+from ..models.pruning_utils import FilterRef, PruningMask
+from ..nn.module import Module
+from ..training import evaluate_accuracy
+from .scoring import compute_filter_scores, top_filter
+from .unlearning import unlearning_loss_value
+
+__all__ = ["PruningRound", "PruningHistory", "GradientPruner"]
+
+
+@dataclass
+class PruningRound:
+    """Telemetry of one pruning round."""
+
+    round_index: int
+    pruned: FilterRef
+    score: float
+    val_unlearning_loss: float
+    val_accuracy: float
+    rolled_back: bool = False
+
+
+@dataclass
+class PruningHistory:
+    """Full record of a pruning run."""
+
+    rounds: List[PruningRound] = field(default_factory=list)
+    initial_val_accuracy: float = float("nan")
+    initial_val_loss: float = float("nan")
+    stop_reason: str = ""
+
+    @property
+    def num_pruned(self) -> int:
+        return sum(1 for r in self.rounds if not r.rolled_back)
+
+
+class GradientPruner:
+    """The paper's gradient-informed pruning loop.
+
+    Parameters
+    ----------
+    alpha:
+        Absolute clean-accuracy floor on the validation set.  When None, it
+        is derived per-run as ``initial_val_accuracy - max_acc_drop``.
+    max_acc_drop:
+        Acceptable accuracy reduction used to derive ``alpha`` (this is the
+        "intuitive" knob the paper advertises: defenders state how much
+        clean accuracy they are willing to spend).
+    patience:
+        The paper's ``P_p``: rounds without validation-loss improvement
+        before stopping.
+    max_rounds:
+        Hard cap on pruning rounds (safety net; the paper's loop is bounded
+        by the filter count).
+    batch_size:
+        Batch size for loss/score computation.
+    """
+
+    def __init__(
+        self,
+        alpha: Optional[float] = None,
+        max_acc_drop: float = 0.10,
+        patience: int = 10,
+        max_rounds: Optional[int] = None,
+        batch_size: int = 128,
+    ) -> None:
+        if alpha is not None and not 0.0 <= alpha <= 1.0:
+            raise ValueError(f"alpha must be in [0, 1], got {alpha}")
+        if max_acc_drop < 0:
+            raise ValueError(f"max_acc_drop must be >= 0, got {max_acc_drop}")
+        if patience < 1:
+            raise ValueError(f"patience must be >= 1, got {patience}")
+        self.alpha = alpha
+        self.max_acc_drop = max_acc_drop
+        self.patience = patience
+        self.max_rounds = max_rounds
+        self.batch_size = batch_size
+
+    def prune(
+        self,
+        model: Module,
+        backdoor_train: ImageDataset,
+        clean_val: ImageDataset,
+        backdoor_val: ImageDataset,
+        mask: Optional[PruningMask] = None,
+    ) -> PruningHistory:
+        """Run the pruning loop; returns history.  ``mask`` records prunes.
+
+        ``backdoor_train`` drives scoring; ``clean_val`` / ``backdoor_val``
+        drive the stopping rule, never the scores (paper §IV-B's split).
+        """
+        mask = mask if mask is not None else PruningMask(model)
+        history = PruningHistory()
+        history.initial_val_accuracy = evaluate_accuracy(model, clean_val, self.batch_size)
+        history.initial_val_loss = unlearning_loss_value(model, backdoor_val, self.batch_size)
+        alpha = self.alpha
+        if alpha is None:
+            alpha = max(0.0, history.initial_val_accuracy - self.max_acc_drop)
+
+        best_loss = history.initial_val_loss
+        rounds_since_improvement = 0
+        round_index = 0
+        max_rounds = self.max_rounds if self.max_rounds is not None else float("inf")
+
+        while round_index < max_rounds:
+            pruned_set = set(mask.pruned_refs)
+            scores, _train_loss = compute_filter_scores(
+                model, backdoor_train, exclude=pruned_set, batch_size=self.batch_size
+            )
+            if not scores:
+                history.stop_reason = "no prunable filters remain"
+                break
+            target = top_filter(scores)
+            saved = mask.prune(target)
+
+            val_loss = unlearning_loss_value(model, backdoor_val, self.batch_size)
+            val_acc = evaluate_accuracy(model, clean_val, self.batch_size)
+            record = PruningRound(
+                round_index=round_index,
+                pruned=target,
+                score=scores[target],
+                val_unlearning_loss=val_loss,
+                val_accuracy=val_acc,
+            )
+
+            if val_acc < alpha:
+                # This prune broke the main task: roll it back and stop.
+                mask.unprune(target, saved)
+                record.rolled_back = True
+                history.rounds.append(record)
+                history.stop_reason = (
+                    f"validation accuracy {val_acc:.4f} fell below alpha={alpha:.4f}"
+                )
+                break
+
+            history.rounds.append(record)
+            if val_loss < best_loss:
+                best_loss = val_loss
+                rounds_since_improvement = 0
+            else:
+                rounds_since_improvement += 1
+                if rounds_since_improvement >= self.patience:
+                    history.stop_reason = (
+                        f"unlearning loss did not improve for {self.patience} rounds"
+                    )
+                    break
+            round_index += 1
+        else:
+            history.stop_reason = f"reached max_rounds={self.max_rounds}"
+
+        if not history.stop_reason:
+            history.stop_reason = f"reached max_rounds={self.max_rounds}"
+        return history

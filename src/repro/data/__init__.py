@@ -1,0 +1,22 @@
+"""Data substrate: synthetic datasets, loaders, transforms, SPC splits."""
+
+from .dataset import DataLoader, ImageDataset
+from .splits import defender_split, spc_subset, train_val_split
+from .synthetic import SynthSpec, make_synth_cifar, make_synth_gtsrb
+from .transforms import Compose, Cutout, Normalize, RandomCrop, RandomHorizontalFlip
+
+__all__ = [
+    "ImageDataset",
+    "DataLoader",
+    "make_synth_cifar",
+    "make_synth_gtsrb",
+    "SynthSpec",
+    "spc_subset",
+    "train_val_split",
+    "defender_split",
+    "Compose",
+    "RandomCrop",
+    "RandomHorizontalFlip",
+    "Normalize",
+    "Cutout",
+]

@@ -1,0 +1,85 @@
+"""Batch-level image transforms (training augmentation and normalization).
+
+Transforms operate on numpy batches of shape ``(N, C, H, W)`` and take the
+loader's generator, keeping augmentation deterministic per seed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = ["Compose", "RandomCrop", "RandomHorizontalFlip", "Normalize", "Cutout"]
+
+BatchTransform = Callable[[np.ndarray, np.random.Generator], np.ndarray]
+
+
+class Compose:
+    """Apply transforms in order."""
+
+    def __init__(self, transforms: Sequence[BatchTransform]) -> None:
+        self.transforms = list(transforms)
+
+    def __call__(self, batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        for transform in self.transforms:
+            batch = transform(batch, rng)
+        return batch
+
+
+class RandomCrop:
+    """Pad by ``padding`` pixels and crop back to the original size."""
+
+    def __init__(self, padding: int = 2) -> None:
+        self.padding = padding
+
+    def __call__(self, batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        p = self.padding
+        n, c, h, w = batch.shape
+        padded = np.pad(batch, ((0, 0), (0, 0), (p, p), (p, p)), mode="reflect")
+        out = np.empty_like(batch)
+        tops = rng.integers(0, 2 * p + 1, size=n)
+        lefts = rng.integers(0, 2 * p + 1, size=n)
+        for i in range(n):
+            out[i] = padded[i, :, tops[i] : tops[i] + h, lefts[i] : lefts[i] + w]
+        return out
+
+
+class RandomHorizontalFlip:
+    """Flip each image left-right with probability ``p``."""
+
+    def __init__(self, p: float = 0.5) -> None:
+        self.p = p
+
+    def __call__(self, batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        flips = rng.random(len(batch)) < self.p
+        out = batch.copy()
+        out[flips] = out[flips, :, :, ::-1]
+        return out
+
+
+class Normalize:
+    """Per-channel standardization."""
+
+    def __init__(self, mean: Sequence[float], std: Sequence[float]) -> None:
+        self.mean = np.asarray(mean, dtype=np.float32).reshape(1, -1, 1, 1)
+        self.std = np.asarray(std, dtype=np.float32).reshape(1, -1, 1, 1)
+
+    def __call__(self, batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        return (batch - self.mean) / self.std
+
+
+class Cutout:
+    """Zero a random square patch (regularization)."""
+
+    def __init__(self, size: int = 8) -> None:
+        self.size = size
+
+    def __call__(self, batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        n, _, h, w = batch.shape
+        out = batch.copy()
+        tops = rng.integers(0, max(1, h - self.size + 1), size=n)
+        lefts = rng.integers(0, max(1, w - self.size + 1), size=n)
+        for i in range(n):
+            out[i, :, tops[i] : tops[i] + self.size, lefts[i] : lefts[i] + self.size] = 0.0
+        return out

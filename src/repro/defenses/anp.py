@@ -1,0 +1,181 @@
+"""ANP baseline (Wu & Wang, 2021): Adversarial Neuron Pruning.
+
+ANP's insight: backdoor neurons are the ones whose *adversarial weight
+perturbation* most easily flips clean predictions.  It learns a per-neuron
+mask ``m`` in [0, 1] under worst-case multiplicative weight perturbations
+``delta`` bounded by ``epsilon``:
+
+    min_m  alpha * L(clean; m (1 + delta*)) + (1 - alpha) * L(clean; m)
+    where  delta* = argmax_delta L(clean; m (1 + delta)),  |delta| <= eps
+
+Neurons whose learned mask falls below a threshold are pruned.  We realize
+the masks by temporarily swapping every ``Conv2d`` for a :class:`MaskedConv2d`
+wrapper whose effective weight is ``weight * m * (1 + delta)`` per output
+channel; autograd then yields exact mask/perturbation gradients.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..data.dataset import DataLoader
+from ..models.pruning_utils import FilterRef, PruningMask, iter_conv_layers
+from ..nn import Tensor, cross_entropy
+from ..nn import functional as F
+from ..nn.layers import Conv2d
+from ..nn.module import Module, Parameter, replace_module
+from .base import Defense, DefenderData, DefenseReport
+
+__all__ = ["ANPDefense", "MaskedConv2d"]
+
+
+class MaskedConv2d(Module):
+    """Conv2d wrapper with per-output-channel mask and perturbation."""
+
+    def __init__(self, conv: Conv2d) -> None:
+        super().__init__()
+        self.conv = conv
+        self.mask = Parameter(np.ones((conv.out_channels, 1, 1, 1), dtype=np.float32))
+        self.delta = Parameter(np.zeros((conv.out_channels, 1, 1, 1), dtype=np.float32))
+
+    def forward(self, x: Tensor) -> Tensor:
+        scale = self.mask * (self.delta + 1.0)
+        weight = self.conv.weight * scale
+        bias = None
+        if self.conv.bias is not None:
+            bias = self.conv.bias * self.mask.reshape(self.conv.out_channels)
+        return F.conv2d(
+            x,
+            weight,
+            bias,
+            stride=self.conv.stride,
+            padding=self.conv.padding,
+            groups=self.conv.groups,
+        )
+
+
+class ANPDefense(Defense):
+    """Adversarial neuron pruning.
+
+    Parameters
+    ----------
+    epsilon:
+        Perturbation budget (ANP paper default 0.4).
+    alpha:
+        Trade-off between perturbed and unperturbed clean loss.
+    mask_lr:
+        Learning rate of the mask optimization.
+    steps:
+        Mask-optimization iterations (each = 1 inner ascent + 1 outer descent).
+    threshold:
+        Prune channels whose final mask is below this value.
+    batch_size, seed:
+        Data handling.
+    """
+
+    name = "anp"
+
+    def __init__(
+        self,
+        epsilon: float = 0.4,
+        alpha: float = 0.2,
+        mask_lr: float = 0.2,
+        steps: int = 120,
+        threshold: float = 0.2,
+        batch_size: int = 32,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= alpha <= 1.0:
+            raise ValueError(f"alpha must be in [0, 1], got {alpha}")
+        self.epsilon = epsilon
+        self.alpha = alpha
+        self.mask_lr = mask_lr
+        self.steps = steps
+        self.threshold = threshold
+        self.batch_size = batch_size
+        self.seed = seed
+
+    def apply(self, model: Module, data: DefenderData) -> DefenseReport:
+        """Learn adversarial channel masks, prune low-mask channels."""
+        # Swap in masked wrappers.
+        conv_names = [name for name, _ in iter_conv_layers(model)]
+        wrappers: Dict[str, MaskedConv2d] = {}
+        for name in conv_names:
+            conv = dict(iter_conv_layers(model))[name]
+            wrapper = MaskedConv2d(conv)
+            replace_module(model, name, wrapper)
+            wrappers[name] = wrapper
+
+        model.eval()  # running BN stats; defender batches are tiny
+        loader = DataLoader(
+            data.clean_train,
+            batch_size=min(self.batch_size, max(1, len(data.clean_train))),
+            shuffle=True,
+            rng=np.random.default_rng(self.seed),
+        )
+        batch_iter = iter(loader)
+
+        def next_batch() -> Tuple[np.ndarray, np.ndarray]:
+            nonlocal batch_iter
+            try:
+                return next(batch_iter)
+            except StopIteration:
+                batch_iter = iter(loader)
+                return next(batch_iter)
+
+        masks = [w.mask for w in wrappers.values()]
+        deltas = [w.delta for w in wrappers.values()]
+
+        for _step in range(self.steps):
+            images, labels = next_batch()
+            batch = Tensor(images)
+            # Inner ascent on delta (maximize perturbed clean loss).
+            for p in masks + deltas:
+                p.zero_grad()
+            loss_perturbed = cross_entropy(model(batch), labels)
+            loss_perturbed.backward()
+            for delta in deltas:
+                if delta.grad is not None:
+                    delta.data += self.epsilon * np.sign(delta.grad)
+                    np.clip(delta.data, -self.epsilon, self.epsilon, out=delta.data)
+            # Outer descent on the mask.
+            for p in masks + deltas:
+                p.zero_grad()
+            loss_perturbed = cross_entropy(model(batch), labels)
+            saved_delta = [d.data.copy() for d in deltas]
+            for d in deltas:
+                d.data[...] = 0.0
+            loss_natural = cross_entropy(model(batch), labels)
+            for d, s in zip(deltas, saved_delta):
+                d.data[...] = s
+            total = self.alpha * loss_perturbed + (1.0 - self.alpha) * loss_natural
+            total.backward()
+            for m in masks:
+                if m.grad is not None:
+                    m.data -= self.mask_lr * m.grad
+                    np.clip(m.data, 0.0, 1.0, out=m.data)
+
+        # Restore plain convs and prune low-mask channels.
+        final_masks = {name: w.mask.data.reshape(-1).copy() for name, w in wrappers.items()}
+        for name, wrapper in wrappers.items():
+            replace_module(model, name, wrapper.conv)
+        mask = PruningMask(model)
+        pruned: List[str] = []
+        for name, values in final_masks.items():
+            for index in np.flatnonzero(values < self.threshold):
+                ref = FilterRef(name, int(index))
+                mask.prune(ref)
+                pruned.append(str(ref))
+        return DefenseReport(
+            name=self.name,
+            details={
+                "num_pruned": len(pruned),
+                "pruned": pruned,
+                "mask_summary": {
+                    name: {"min": float(v.min()), "mean": float(v.mean())}
+                    for name, v in final_masks.items()
+                },
+            },
+        )

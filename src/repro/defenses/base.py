@@ -1,0 +1,75 @@
+"""Shared defense interface.
+
+Every mitigation approach (the six baselines and the paper's Grad-Prune)
+receives the same :class:`DefenderData` bundle — the limited clean data the
+paper's defender owns, pre-split into train/validation halves, plus the
+attack handle used to *synthesize* backdoor variants (paper assumption
+III-C: the defender can faithfully re-create triggered inputs) — and mutates
+the model in place, returning a :class:`DefenseReport`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from ..attacks.base import BackdoorAttack
+from ..data.dataset import ImageDataset
+from ..nn.module import Module
+
+__all__ = ["DefenderData", "DefenseReport", "Defense"]
+
+
+@dataclass
+class DefenderData:
+    """The defender's data budget.
+
+    Attributes
+    ----------
+    clean_train:
+        Clean correctly-labeled samples available for fine-tuning / scoring.
+    clean_val:
+        Held-out clean samples for stopping decisions (never used for
+        gradient computation — the paper is explicit about this split).
+    attack:
+        Trigger synthesis handle.  Defenses that do not use backdoor data
+        (FT, FP, NAD, CLP, FT-SAM) simply ignore it.
+    """
+
+    clean_train: ImageDataset
+    clean_val: ImageDataset
+    attack: Optional[BackdoorAttack] = None
+
+    def backdoor_train(self) -> ImageDataset:
+        """Triggered copies of the clean training samples with true labels."""
+        if self.attack is None:
+            raise ValueError("no attack handle available to synthesize backdoor data")
+        return self.attack.triggered_with_true_labels(self.clean_train)
+
+    def backdoor_val(self) -> ImageDataset:
+        """Triggered copies of the clean validation samples with true labels."""
+        if self.attack is None:
+            raise ValueError("no attack handle available to synthesize backdoor data")
+        return self.attack.triggered_with_true_labels(self.clean_val)
+
+
+@dataclass
+class DefenseReport:
+    """What a defense did: free-form details plus standard counters."""
+
+    name: str
+    details: Dict[str, Any] = field(default_factory=dict)
+
+
+class Defense(ABC):
+    """Base class for backdoor mitigation approaches."""
+
+    name: str = "base"
+
+    @abstractmethod
+    def apply(self, model: Module, data: DefenderData) -> DefenseReport:
+        """Mitigate the backdoor in ``model`` in place."""
+
+    def __repr__(self) -> str:
+        return f"{self.__class__.__name__}()"

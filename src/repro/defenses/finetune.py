@@ -1,0 +1,49 @@
+"""FT baseline: vanilla fine-tuning on the defender's clean data.
+
+The oldest mitigation (Liu et al., 2018, as the non-pruning half of
+Fine-Pruning): simply continue training on clean data, hoping catastrophic
+forgetting erodes the backdoor.  The paper's Tables I-II show this works
+with enough data (SPC=100) and collapses in low-data settings — behaviour
+our reproduction inherits.
+"""
+
+from __future__ import annotations
+
+from ..core.tuner import FineTuner
+from ..nn.module import Module
+from .base import Defense, DefenderData, DefenseReport
+
+__all__ = ["FineTuningDefense"]
+
+
+class FineTuningDefense(Defense):
+    """Fine-tune on clean data only.
+
+    Parameters
+    ----------
+    lr, epochs, batch_size, seed:
+        Standard fine-tuning hyperparameters; early stopping uses the clean
+        validation loss with the given patience.
+    """
+
+    name = "ft"
+
+    def __init__(
+        self,
+        lr: float = 0.01,
+        epochs: int = 20,
+        patience: int = 5,
+        batch_size: int = 32,
+        seed: int = 0,
+    ) -> None:
+        self.tuner = FineTuner(
+            lr=lr, patience=patience, max_epochs=epochs, batch_size=batch_size, seed=seed
+        )
+
+    def apply(self, model: Module, data: DefenderData) -> DefenseReport:
+        """Fine-tune on the defender's clean data (early-stopped)."""
+        history = self.tuner.tune(model, data.clean_train, data.clean_val)
+        return DefenseReport(
+            name=self.name,
+            details={"epochs_run": len(history.train_losses), "stop_reason": history.stop_reason},
+        )

@@ -1,0 +1,50 @@
+"""Defender data budgets per the paper's protocol (§V-B).
+
+The defender receives a fixed number of clean *samples per class* (SPC in
+{2, 10, 100}), of which 10 % is reserved for validation — except SPC=2,
+where one sample per class trains and the other validates.  Each of the five
+trials draws a different subset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+import numpy as np
+
+from ..attacks.base import BackdoorAttack
+from ..data.dataset import ImageDataset
+from ..data.splits import defender_split
+from ..defenses.base import DefenderData
+from ..utils.seeding import seed_sequence
+
+__all__ = ["DefenderBudget", "budget_trials"]
+
+
+@dataclass(frozen=True)
+class DefenderBudget:
+    """An SPC budget drawn for one trial."""
+
+    spc: int
+    trial: int
+    seed: int
+
+    def draw(
+        self, reservoir: ImageDataset, attack: Optional[BackdoorAttack] = None
+    ) -> DefenderData:
+        """Sample this trial's defender data from the clean reservoir.
+
+        ``reservoir`` is clean, correctly-labeled data the defender could
+        plausibly access (we draw from held-out clean training data, never
+        the test set used for metrics).
+        """
+        rng = np.random.default_rng(self.seed)
+        clean_train, clean_val = defender_split(reservoir, self.spc, rng)
+        return DefenderData(clean_train=clean_train, clean_val=clean_val, attack=attack)
+
+
+def budget_trials(spc: int, num_trials: int, root_seed: int = 0) -> Iterator[DefenderBudget]:
+    """Yield ``num_trials`` decorrelated budgets for one SPC setting."""
+    for trial, seed in enumerate(seed_sequence(root_seed + spc * 1000, num_trials)):
+        yield DefenderBudget(spc=spc, trial=trial, seed=seed)

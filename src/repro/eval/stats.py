@@ -1,0 +1,120 @@
+"""Cross-trial statistics for defense comparisons.
+
+The paper reports mean±std over five trials and bolds the best/second-best
+per cell.  This module adds the machinery a careful comparison needs:
+
+- :func:`paired_bootstrap` — bootstrap CI of a mean metric difference
+  between two defenses evaluated on the *same* trial draws;
+- :func:`rank_defenses` — per-cell ranking with the paper's bold/underline
+  convention (best / second best);
+- :func:`win_tie_loss` — aggregate win/tie/loss counts of one defense
+  against another across many cells.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .runner import AggregateResult, TrialResult
+
+__all__ = ["paired_bootstrap", "rank_defenses", "win_tie_loss", "BootstrapResult"]
+
+
+@dataclass
+class BootstrapResult:
+    """Outcome of a paired bootstrap comparison."""
+
+    mean_difference: float
+    ci_low: float
+    ci_high: float
+    significant: bool  # CI excludes zero
+
+
+def paired_bootstrap(
+    a: Sequence[float],
+    b: Sequence[float],
+    num_resamples: int = 2000,
+    confidence: float = 0.95,
+    seed: int = 0,
+) -> BootstrapResult:
+    """Bootstrap CI of ``mean(a - b)`` over paired per-trial values."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape or a.ndim != 1:
+        raise ValueError(f"paired inputs must be equal-length 1-D, got {a.shape} vs {b.shape}")
+    if len(a) == 0:
+        raise ValueError("need at least one paired observation")
+    diff = a - b
+    rng = np.random.default_rng(seed)
+    n = len(diff)
+    resample_means = np.array(
+        [diff[rng.integers(0, n, n)].mean() for _ in range(num_resamples)]
+    )
+    alpha = (1.0 - confidence) / 2.0
+    ci_low = float(np.quantile(resample_means, alpha))
+    ci_high = float(np.quantile(resample_means, 1.0 - alpha))
+    return BootstrapResult(
+        mean_difference=float(diff.mean()),
+        ci_low=ci_low,
+        ci_high=ci_high,
+        significant=bool(ci_low > 0.0 or ci_high < 0.0),
+    )
+
+
+def rank_defenses(
+    aggregates: Sequence[AggregateResult],
+    metric: str = "asr",
+    ascending: Optional[bool] = None,
+) -> List[Tuple[str, float, str]]:
+    """Rank one cell's defenses; returns (defense, value, emphasis) rows.
+
+    ``emphasis`` follows the paper's table convention: ``"best"`` for the
+    top entry, ``"second"`` for the runner-up, ``""`` otherwise.  Lower is
+    better for ASR; higher is better for ACC/RA (override via ``ascending``).
+    """
+    if metric not in ("acc", "asr", "ra"):
+        raise ValueError(f"unknown metric {metric!r}")
+    if ascending is None:
+        ascending = metric == "asr"
+    keyed = [(agg.defense, getattr(agg, f"{metric}_mean")) for agg in aggregates]
+    keyed.sort(key=lambda kv: kv[1], reverse=not ascending)
+    rows: List[Tuple[str, float, str]] = []
+    for position, (defense, value) in enumerate(keyed):
+        emphasis = "best" if position == 0 else ("second" if position == 1 else "")
+        rows.append((defense, value, emphasis))
+    return rows
+
+
+def win_tie_loss(
+    trials_a: Sequence[TrialResult],
+    trials_b: Sequence[TrialResult],
+    metric: str = "asr",
+    tolerance: float = 0.01,
+) -> Dict[str, int]:
+    """Win/tie/loss of defense A vs B over paired trials (lower ASR wins).
+
+    Trials are paired by ``(spc, trial)``; unmatched trials are ignored.
+    For ``acc``/``ra`` higher wins.
+    """
+    if metric not in ("acc", "asr", "ra"):
+        raise ValueError(f"unknown metric {metric!r}")
+    lower_wins = metric == "asr"
+    b_by_key = {(t.spc, t.trial): t for t in trials_b}
+    counts = {"win": 0, "tie": 0, "loss": 0}
+    for trial in trials_a:
+        other = b_by_key.get((trial.spc, trial.trial))
+        if other is None:
+            continue
+        va = getattr(trial.metrics, metric)
+        vb = getattr(other.metrics, metric)
+        delta = (vb - va) if lower_wins else (va - vb)
+        if abs(delta) <= tolerance:
+            counts["tie"] += 1
+        elif delta > 0:
+            counts["win"] += 1
+        else:
+            counts["loss"] += 1
+    return counts

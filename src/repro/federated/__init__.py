@@ -1,0 +1,29 @@
+"""Federated-learning substrate (paper §I's outsourced-training threat).
+
+Implements FedAvg / trimmed-mean servers, honest and model-replacement
+malicious clients, IID and Dirichlet data partitioning, and an end-to-end
+federated-backdoor runner whose compromised global model can be handed to
+any defense in :mod:`repro.defenses` / :mod:`repro.core`.
+"""
+
+from .client import FederatedClient, MaliciousClient
+from .server import FederatedServer, fedavg, krum, trimmed_mean
+from .simulation import (
+    FederatedRunLog,
+    run_federated_backdoor,
+    split_dataset_dirichlet,
+    split_dataset_iid,
+)
+
+__all__ = [
+    "FederatedClient",
+    "MaliciousClient",
+    "FederatedServer",
+    "fedavg",
+    "trimmed_mean",
+    "krum",
+    "split_dataset_iid",
+    "split_dataset_dirichlet",
+    "FederatedRunLog",
+    "run_federated_backdoor",
+]

@@ -1,0 +1,153 @@
+"""Federated server: client sampling, FedAvg aggregation, robust variants.
+
+Besides plain FedAvg (McMahan et al., 2017), the server supports
+coordinate-wise **trimmed-mean** aggregation (Yin et al., 2018) as the
+standard robust baseline — useful for showing that simple robust
+aggregation only partially blunts model-replacement backdoors, which
+motivates post-hoc repair (Grad-Prune) at the server.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..nn.module import Module
+from .client import FederatedClient
+
+__all__ = ["FederatedServer", "fedavg", "trimmed_mean", "krum"]
+
+StateDict = Dict[str, np.ndarray]
+
+
+def fedavg(updates: Sequence[StateDict], weights: Sequence[float]) -> StateDict:
+    """Sample-count-weighted average of client state dicts."""
+    if not updates:
+        raise ValueError("no updates to aggregate")
+    if len(updates) != len(weights):
+        raise ValueError("updates and weights length mismatch")
+    total = float(sum(weights))
+    if total <= 0:
+        raise ValueError("weights must sum to a positive value")
+    result: StateDict = {}
+    for key in updates[0]:
+        stacked = np.stack([u[key] for u in updates])
+        w = np.asarray(weights, dtype=np.float64) / total
+        result[key] = np.tensordot(w, stacked, axes=1).astype(stacked.dtype)
+    return result
+
+
+def trimmed_mean(updates: Sequence[StateDict], trim: int = 1) -> StateDict:
+    """Coordinate-wise trimmed mean: drop the ``trim`` largest and smallest.
+
+    Requires ``len(updates) > 2 * trim``.
+    """
+    if not updates:
+        raise ValueError("no updates to aggregate")
+    if len(updates) <= 2 * trim:
+        raise ValueError(
+            f"need more than {2 * trim} updates for trim={trim}, got {len(updates)}"
+        )
+    result: StateDict = {}
+    for key in updates[0]:
+        stacked = np.sort(np.stack([u[key] for u in updates]), axis=0)
+        kept = stacked[trim : len(updates) - trim] if trim else stacked
+        result[key] = kept.mean(axis=0).astype(stacked.dtype)
+    return result
+
+
+def _flatten(update: StateDict) -> np.ndarray:
+    return np.concatenate([update[key].ravel() for key in sorted(update)])
+
+
+def krum(updates: Sequence[StateDict], num_malicious: int = 1) -> StateDict:
+    """Krum aggregation (Blanchard et al., 2017): pick the most central update.
+
+    Each update is scored by the sum of squared distances to its
+    ``n - f - 2`` nearest neighbours; the update with the smallest score is
+    taken verbatim.  Requires ``len(updates) >= num_malicious + 3``.
+    """
+    n = len(updates)
+    f = num_malicious
+    if n < f + 3:
+        raise ValueError(f"Krum needs >= f + 3 = {f + 3} updates, got {n}")
+    vectors = np.stack([_flatten(u) for u in updates]).astype(np.float64)
+    # Pairwise squared distances.
+    squared_norms = (vectors ** 2).sum(axis=1)
+    distances = squared_norms[:, None] + squared_norms[None, :] - 2.0 * vectors @ vectors.T
+    np.fill_diagonal(distances, np.inf)
+    neighbours = n - f - 2
+    scores = np.sort(distances, axis=1)[:, :neighbours].sum(axis=1)
+    winner = int(scores.argmin())
+    return {key: value.copy() for key, value in updates[winner].items()}
+
+
+class FederatedServer:
+    """Round orchestration over a fixed client population.
+
+    Parameters
+    ----------
+    model:
+        The global model (mutated in place each round).
+    clients:
+        Participating clients (honest and/or malicious).
+    client_fraction:
+        Fraction of clients sampled per round.
+    aggregation:
+        ``"fedavg"``, ``"trimmed_mean"``, or ``"krum"``.
+    trim:
+        Per-side trim count for trimmed-mean; doubles as Krum's assumed
+        malicious count.
+    seed:
+        Client-sampling seed.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        clients: Sequence[FederatedClient],
+        client_fraction: float = 1.0,
+        aggregation: str = "fedavg",
+        trim: int = 1,
+        seed: int = 0,
+    ) -> None:
+        if not clients:
+            raise ValueError("need at least one client")
+        if not 0.0 < client_fraction <= 1.0:
+            raise ValueError(f"client_fraction must be in (0, 1], got {client_fraction}")
+        if aggregation not in ("fedavg", "trimmed_mean", "krum"):
+            raise ValueError(f"unknown aggregation {aggregation!r}")
+        self.model = model
+        self.clients = list(clients)
+        self.client_fraction = client_fraction
+        self.aggregation = aggregation
+        self.trim = trim
+        self._rng = np.random.default_rng(seed)
+
+    def sample_clients(self) -> List[FederatedClient]:
+        """Draw this round's participants."""
+        count = max(1, int(round(self.client_fraction * len(self.clients))))
+        indices = self._rng.choice(len(self.clients), size=count, replace=False)
+        return [self.clients[i] for i in indices]
+
+    def run_round(self) -> List[int]:
+        """One federated round; returns the participating client ids."""
+        participants = self.sample_clients()
+        global_state = self.model.state_dict()
+        updates = [c.local_update(self.model, global_state) for c in participants]
+        if self.aggregation == "fedavg":
+            new_state = fedavg(updates, [c.num_samples for c in participants])
+        elif self.aggregation == "trimmed_mean":
+            new_state = trimmed_mean(updates, trim=self.trim)
+        else:
+            new_state = krum(updates, num_malicious=self.trim)
+        self.model.load_state_dict(new_state)
+        return [c.client_id for c in participants]
+
+    def run(self, rounds: int) -> List[List[int]]:
+        """Run multiple rounds; returns per-round participant ids."""
+        if rounds < 1:
+            raise ValueError(f"rounds must be >= 1, got {rounds}")
+        return [self.run_round() for _ in range(rounds)]

@@ -1,0 +1,126 @@
+"""Federated simulation helpers: data partitioning and end-to-end runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..attacks.base import BackdoorAttack
+from ..data.dataset import ImageDataset
+from ..eval.metrics import BackdoorMetrics, evaluate_backdoor_metrics
+from ..nn.module import Module
+from .client import FederatedClient, MaliciousClient
+from .server import FederatedServer
+
+__all__ = ["split_dataset_iid", "split_dataset_dirichlet", "FederatedRunLog", "run_federated_backdoor"]
+
+
+def split_dataset_iid(
+    dataset: ImageDataset, num_clients: int, rng: Optional[np.random.Generator] = None
+) -> List[ImageDataset]:
+    """Uniformly partition a dataset into ``num_clients`` shards."""
+    if num_clients < 1:
+        raise ValueError(f"num_clients must be >= 1, got {num_clients}")
+    if num_clients > len(dataset):
+        raise ValueError("more clients than samples")
+    rng = rng if rng is not None else np.random.default_rng()
+    order = rng.permutation(len(dataset))
+    shards = np.array_split(order, num_clients)
+    return [dataset.subset(shard) for shard in shards]
+
+
+def split_dataset_dirichlet(
+    dataset: ImageDataset,
+    num_clients: int,
+    alpha: float = 0.5,
+    rng: Optional[np.random.Generator] = None,
+) -> List[ImageDataset]:
+    """Non-IID partition: per-class Dirichlet(alpha) allocation over clients.
+
+    Small ``alpha`` concentrates each class on few clients (the standard
+    federated non-IID benchmark construction).  Clients left empty by the
+    draw receive one random sample so every client stays trainable.
+    """
+    if alpha <= 0:
+        raise ValueError(f"alpha must be positive, got {alpha}")
+    rng = rng if rng is not None else np.random.default_rng()
+    assignments: List[List[int]] = [[] for _ in range(num_clients)]
+    for cls in range(dataset.num_classes):
+        members = np.flatnonzero(dataset.labels == cls)
+        rng.shuffle(members)
+        proportions = rng.dirichlet(np.full(num_clients, alpha))
+        counts = np.floor(proportions * len(members)).astype(int)
+        counts[-1] = len(members) - counts[:-1].sum()
+        start = 0
+        for client, count in enumerate(counts):
+            assignments[client].extend(members[start : start + count])
+            start += count
+    for client in range(num_clients):
+        if not assignments[client]:
+            assignments[client].append(int(rng.integers(0, len(dataset))))
+    return [dataset.subset(np.array(sorted(idx))) for idx in assignments]
+
+
+@dataclass
+class FederatedRunLog:
+    """Per-round global-model metrics of a federated backdoor run."""
+
+    rounds: List[BackdoorMetrics] = field(default_factory=list)
+
+    @property
+    def final(self) -> BackdoorMetrics:
+        if not self.rounds:
+            raise ValueError("no rounds recorded")
+        return self.rounds[-1]
+
+
+def run_federated_backdoor(
+    model: Module,
+    train_set: ImageDataset,
+    test_set: ImageDataset,
+    attack: BackdoorAttack,
+    num_clients: int = 8,
+    num_malicious: int = 1,
+    rounds: int = 5,
+    local_epochs: int = 1,
+    boost: float = 4.0,
+    client_fraction: float = 1.0,
+    aggregation: str = "fedavg",
+    lr: float = 0.05,
+    seed: int = 0,
+) -> Tuple[FederatedServer, FederatedRunLog]:
+    """Run a full federated training with embedded malicious clients.
+
+    Returns the server (holding the final global model) and per-round
+    metrics, so callers can both inspect the attack's dynamics and hand the
+    compromised global model to a defense.
+    """
+    if not 0 <= num_malicious < num_clients:
+        raise ValueError("need 0 <= num_malicious < num_clients")
+    rng = np.random.default_rng(seed)
+    shards = split_dataset_iid(train_set, num_clients, rng)
+    clients: List[FederatedClient] = []
+    for client_id, shard in enumerate(shards):
+        if client_id < num_malicious:
+            clients.append(
+                MaliciousClient(
+                    client_id, shard, attack,
+                    poison_ratio=0.3, boost=boost,
+                    epochs=local_epochs, lr=lr, seed=seed + client_id,
+                )
+            )
+        else:
+            clients.append(
+                FederatedClient(client_id, shard, epochs=local_epochs, lr=lr)
+            )
+    server = FederatedServer(
+        model, clients, client_fraction=client_fraction,
+        aggregation=aggregation, seed=seed,
+    )
+    log = FederatedRunLog()
+    for _round in range(rounds):
+        server.run_round()
+        log.rounds.append(evaluate_backdoor_metrics(model, test_set, attack))
+    return server, log

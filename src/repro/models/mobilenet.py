@@ -1,0 +1,205 @@
+"""MobileNetV3-Large (Howard et al., 2019), adapted for 32x32 inputs.
+
+The fourth GTSRB architecture in the paper (Figure 2).  Implements the
+network's defining blocks: inverted residual bottlenecks with optional
+squeeze-and-excitation (using the hard-sigmoid gate) and the h-swish
+activation in the deeper layers.  ``width_mult`` scales channels; 1.0
+matches the published large configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..nn.layers import (
+    AdaptiveAvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    HardSigmoid,
+    HardSwish,
+    Linear,
+    ReLU,
+)
+from ..nn.module import Module, ModuleList, Sequential
+from ..nn.tensor import Tensor
+
+__all__ = ["InvertedResidual", "MobileNetV3Large", "mobilenet_v3_large"]
+
+
+@dataclass(frozen=True)
+class _BlockSpec:
+    kernel: int
+    expanded: int
+    out: int
+    use_se: bool
+    use_hswish: bool
+    stride: int
+
+
+# The published MobileNetV3-Large bneck table.
+_LARGE_SPECS: List[_BlockSpec] = [
+    _BlockSpec(3, 16, 16, False, False, 1),
+    _BlockSpec(3, 64, 24, False, False, 2),
+    _BlockSpec(3, 72, 24, False, False, 1),
+    _BlockSpec(5, 72, 40, True, False, 2),
+    _BlockSpec(5, 120, 40, True, False, 1),
+    _BlockSpec(5, 120, 40, True, False, 1),
+    _BlockSpec(3, 240, 80, False, True, 2),
+    _BlockSpec(3, 200, 80, False, True, 1),
+    _BlockSpec(3, 184, 80, False, True, 1),
+    _BlockSpec(3, 184, 80, False, True, 1),
+    _BlockSpec(3, 480, 112, True, True, 1),
+    _BlockSpec(3, 672, 112, True, True, 1),
+    _BlockSpec(5, 672, 160, True, True, 2),
+    _BlockSpec(5, 960, 160, True, True, 1),
+    _BlockSpec(5, 960, 160, True, True, 1),
+]
+
+
+def _scale(channels: int, width_mult: float, divisor: int = 4) -> int:
+    return max(divisor, int(round(channels * width_mult / divisor)) * divisor)
+
+
+class _SqueezeExciteHS(Module):
+    """SE gate with ReLU + hard-sigmoid, as specified for MobileNetV3."""
+
+    def __init__(self, channels: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        reduced = max(4, channels // 4)
+        self.pool = AdaptiveAvgPool2d(1)
+        self.fc1 = Conv2d(channels, reduced, 1, rng=rng)
+        self.relu = ReLU()
+        self.fc2 = Conv2d(reduced, channels, 1, rng=rng)
+        self.gate = HardSigmoid()
+
+    def forward(self, x: Tensor) -> Tensor:
+        s = self.pool(x)
+        s = self.relu(self.fc1(s))
+        s = self.gate(self.fc2(s))
+        return x * s
+
+
+class InvertedResidual(Module):
+    """MobileNetV3 bottleneck: 1x1 expand, depthwise kxk, optional SE, 1x1 project."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        spec: _BlockSpec,
+        width_mult: float,
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__()
+        expanded = _scale(spec.expanded, width_mult)
+        out_channels = _scale(spec.out, width_mult)
+        self.use_residual = spec.stride == 1 and in_channels == out_channels
+        self.out_channels = out_channels
+        act = HardSwish() if spec.use_hswish else ReLU()
+
+        self.has_expand = expanded != in_channels
+        if self.has_expand:
+            self.expand_conv = Conv2d(in_channels, expanded, 1, bias=False, rng=rng)
+            self.expand_bn = BatchNorm2d(expanded)
+        self.dw_conv = Conv2d(
+            expanded, expanded, spec.kernel, stride=spec.stride,
+            padding=spec.kernel // 2, groups=expanded, bias=False, rng=rng,
+        )
+        self.dw_bn = BatchNorm2d(expanded)
+        self.se = _SqueezeExciteHS(expanded, rng) if spec.use_se else None
+        self.project_conv = Conv2d(expanded, out_channels, 1, bias=False, rng=rng)
+        self.project_bn = BatchNorm2d(out_channels)
+        self.act = act
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x
+        if self.has_expand:
+            out = self.act(self.expand_bn(self.expand_conv(out)))
+        out = self.act(self.dw_bn(self.dw_conv(out)))
+        if self.se is not None:
+            out = self.se(out)
+        out = self.project_bn(self.project_conv(out))
+        if self.use_residual:
+            out = out + x
+        return out
+
+
+class MobileNetV3Large(Module):
+    """MobileNetV3-Large for 32x32 inputs.
+
+    Parameters
+    ----------
+    num_classes:
+        Output classes.
+    width_mult:
+        Channel multiplier (1.0 = published widths).
+    max_blocks:
+        Optionally truncate the 15-block bneck table for fast CPU profiles
+        (strides of dropped stride-2 blocks are preserved by keeping the
+        table prefix, so spatial dims remain valid).
+    seed:
+        Initialization seed.
+    """
+
+    def __init__(
+        self,
+        num_classes: int = 10,
+        width_mult: float = 0.25,
+        max_blocks: int = 15,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        stem_width = _scale(16, width_mult)
+        # Stride 1 (not 2) in the stem for small inputs.
+        self.stem = Sequential(
+            Conv2d(3, stem_width, 3, stride=1, padding=1, bias=False, rng=rng),
+            BatchNorm2d(stem_width),
+            HardSwish(),
+        )
+        specs = _LARGE_SPECS[: max(1, max_blocks)]
+        blocks: List[Module] = []
+        in_channels = stem_width
+        for spec in specs:
+            block = InvertedResidual(in_channels, spec, width_mult, rng)
+            blocks.append(block)
+            in_channels = block.out_channels
+        self.blocks = ModuleList(blocks)
+        head_width = _scale(960, width_mult)
+        self.head = Sequential(
+            Conv2d(in_channels, head_width, 1, bias=False, rng=rng),
+            BatchNorm2d(head_width),
+            HardSwish(),
+        )
+        self.pool = AdaptiveAvgPool2d(1)
+        self.flatten = Flatten()
+        classifier_width = _scale(1280, width_mult)
+        self.classifier = Sequential(
+            Linear(head_width, classifier_width, rng=rng),
+            HardSwish(),
+            Linear(classifier_width, num_classes, rng=rng),
+        )
+        self.num_classes = num_classes
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.stem(x)
+        for block in self.blocks:
+            out = block(out)
+        out = self.head(out)
+        out = self.flatten(self.pool(out))
+        return self.classifier(out)
+
+
+def mobilenet_v3_large(
+    num_classes: int = 10,
+    width_mult: float = 0.25,
+    max_blocks: int = 15,
+    seed: int = 0,
+) -> MobileNetV3Large:
+    """Factory matching the registry signature."""
+    return MobileNetV3Large(
+        num_classes=num_classes, width_mult=width_mult, max_blocks=max_blocks, seed=seed
+    )

@@ -1,0 +1,99 @@
+"""Model inspection: layer tables and parameter accounting.
+
+``summarize(model, input_shape)`` runs a probe forward pass with hooks and
+returns per-layer rows (name, type, output shape, parameter count) plus
+totals — the numpy equivalent of torchsummary, used by the examples and by
+DESIGN.md's architecture documentation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from ..nn import Tensor, no_grad
+from ..nn.module import Module
+
+__all__ = ["LayerRow", "ModelSummary", "summarize"]
+
+
+@dataclass
+class LayerRow:
+    """One leaf layer's summary entry."""
+
+    name: str
+    type_name: str
+    output_shape: Tuple[int, ...]
+    num_params: int
+
+
+@dataclass
+class ModelSummary:
+    """Full model summary."""
+
+    rows: List[LayerRow]
+    total_params: int
+    conv_filters: int
+
+    def table(self) -> str:
+        """Render as an aligned text table."""
+        name_w = max([len(r.name) for r in self.rows] + [5])
+        type_w = max([len(r.type_name) for r in self.rows] + [5])
+        lines = [
+            f"{'layer':<{name_w}}  {'type':<{type_w}}  {'output':<18}  {'params':>9}",
+            "-" * (name_w + type_w + 33),
+        ]
+        for row in self.rows:
+            shape = "x".join(str(s) for s in row.output_shape)
+            lines.append(
+                f"{row.name:<{name_w}}  {row.type_name:<{type_w}}  {shape:<18}  {row.num_params:>9,}"
+            )
+        lines.append("-" * (name_w + type_w + 33))
+        lines.append(f"total parameters: {self.total_params:,}")
+        lines.append(f"prunable conv filters: {self.conv_filters:,}")
+        return "\n".join(lines)
+
+
+def summarize(model: Module, input_shape: Tuple[int, int, int] = (3, 32, 32)) -> ModelSummary:
+    """Probe ``model`` with a single zero image and collect per-layer rows.
+
+    Only leaf modules (no children) appear as rows; containers are skipped.
+    """
+    from .pruning_utils import count_filters
+
+    rows: List[LayerRow] = []
+    handles = []
+    for name, module in model.named_modules():
+        if module._modules or not name:
+            continue  # containers and the root
+
+        def hook(mod, output, _name=name):
+            own_params = sum(p.data.size for p in mod._parameters.values() if p is not None)
+            rows.append(
+                LayerRow(
+                    name=_name,
+                    type_name=mod.__class__.__name__,
+                    output_shape=tuple(output.shape[1:]),
+                    num_params=own_params,
+                )
+            )
+
+        handles.append(module.register_forward_hook(hook))
+
+    was_training = model.training
+    model.eval()
+    try:
+        with no_grad():
+            model(Tensor(np.zeros((1, *input_shape), dtype=np.float32)))
+    finally:
+        for handle in handles:
+            handle.remove()
+        model.train(was_training)
+
+    return ModelSummary(
+        rows=rows,
+        total_params=model.num_parameters(),
+        conv_filters=count_filters(model),
+    )

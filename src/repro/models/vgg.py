@@ -1,0 +1,80 @@
+"""VGG-19 with batch normalization (Simonyan & Zisserman, 2015).
+
+The paper's second CIFAR-10/GTSRB architecture ("VGG-19+BN").  The layer
+sequence is the canonical configuration "E" — sixteen 3x3 convolutions in
+five max-pooled stages — with channel counts scaled by ``width_mult`` so the
+reproduction trains on CPU (1.0 reproduces the original 64..512 widths).
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+import numpy as np
+
+from ..nn.layers import BatchNorm2d, Conv2d, Dropout, Flatten, Linear, MaxPool2d, ReLU
+from ..nn.module import Module, Sequential
+from ..nn.tensor import Tensor
+
+__all__ = ["VGG19BN", "vgg19_bn", "VGG19_CONFIG"]
+
+# Configuration "E": numbers are conv output channels, "M" is 2x2 max pooling.
+VGG19_CONFIG: List[Union[int, str]] = [
+    64, 64, "M",
+    128, 128, "M",
+    256, 256, 256, 256, "M",
+    512, 512, 512, 512, "M",
+    512, 512, 512, 512, "M",
+]
+
+
+class VGG19BN(Module):
+    """VGG-19+BN for 32x32 inputs.
+
+    Parameters
+    ----------
+    num_classes:
+        Output classes.
+    width_mult:
+        Multiplier on the canonical channel counts (minimum 4 channels per
+        layer after scaling).
+    seed:
+        Initialization seed.
+    """
+
+    def __init__(self, num_classes: int = 10, width_mult: float = 0.125, seed: int = 0) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        layers: List[Module] = []
+        in_channels = 3
+        last_width = in_channels
+        for item in VGG19_CONFIG:
+            if item == "M":
+                layers.append(MaxPool2d(2, 2))
+                continue
+            width = max(4, int(round(item * width_mult)))
+            layers.append(Conv2d(in_channels, width, 3, padding=1, bias=False, rng=rng))
+            layers.append(BatchNorm2d(width))
+            layers.append(ReLU())
+            in_channels = width
+            last_width = width
+        self.features = Sequential(*layers)
+        self.flatten = Flatten()
+        # After five 2x-downsamples a 32x32 input is 1x1 spatially.
+        self.classifier = Sequential(
+            Linear(last_width, max(16, last_width), rng=rng),
+            ReLU(),
+            Dropout(0.5, rng=rng),
+            Linear(max(16, last_width), num_classes, rng=rng),
+        )
+        self.num_classes = num_classes
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.features(x)
+        out = self.flatten(out)
+        return self.classifier(out)
+
+
+def vgg19_bn(num_classes: int = 10, width_mult: float = 0.125, seed: int = 0) -> VGG19BN:
+    """Factory matching the registry signature."""
+    return VGG19BN(num_classes=num_classes, width_mult=width_mult, seed=seed)

@@ -1,0 +1,445 @@
+"""Convolution, pooling, and padding primitives with autograd support.
+
+The convolution implementation uses im2col/col2im so that both forward and
+backward passes reduce to dense matrix multiplications, which is the fastest
+strategy available to a pure-numpy engine.  Grouped and depthwise convolution
+(needed by EfficientNet and MobileNetV3) are supported via the ``groups``
+argument.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = [
+    "conv2d",
+    "conv_transpose2d",
+    "max_pool2d",
+    "avg_pool2d",
+    "adaptive_avg_pool2d",
+    "batch_norm2d_train",
+    "batch_norm2d_eval",
+    "pad2d",
+    "im2col",
+    "col2im",
+]
+
+IntPair = Union[int, Tuple[int, int]]
+
+
+def _pair(value: IntPair) -> Tuple[int, int]:
+    if isinstance(value, tuple):
+        return value
+    return (value, value)
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output size of a convolution/pooling window."""
+    return (size + 2 * padding - kernel) // stride + 1
+
+
+def im2col(
+    x: np.ndarray, kernel: Tuple[int, int], stride: Tuple[int, int], padding: Tuple[int, int]
+) -> np.ndarray:
+    """Unfold ``x`` (N, C, H, W) into columns of shape (N, C*kh*kw, L).
+
+    ``L = out_h * out_w`` is the number of sliding-window positions.  The
+    result is laid out so that a convolution becomes ``weight_matrix @ cols``.
+    """
+    n, c, h, w = x.shape
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = padding
+    out_h = conv_output_size(h, kh, sh, ph)
+    out_w = conv_output_size(w, kw, sw, pw)
+    if ph or pw:
+        x = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+
+    strides = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, out_h, out_w, kh, kw),
+        strides=(strides[0], strides[1], strides[2] * sh, strides[3] * sw, strides[2], strides[3]),
+        writeable=False,
+    )
+    # (N, C, kh, kw, out_h, out_w) -> (N, C*kh*kw, L)
+    cols = windows.transpose(0, 1, 4, 5, 2, 3).reshape(n, c * kh * kw, out_h * out_w)
+    return np.ascontiguousarray(cols)
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    kernel: Tuple[int, int],
+    stride: Tuple[int, int],
+    padding: Tuple[int, int],
+) -> np.ndarray:
+    """Fold columns produced by :func:`im2col` back, summing overlaps."""
+    n, c, h, w = x_shape
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = padding
+    out_h = conv_output_size(h, kh, sh, ph)
+    out_w = conv_output_size(w, kw, sw, pw)
+
+    padded = np.zeros((n, c, h + 2 * ph, w + 2 * pw), dtype=cols.dtype)
+    cols = cols.reshape(n, c, kh, kw, out_h, out_w)
+    for i in range(kh):
+        h_end = i + sh * out_h
+        for j in range(kw):
+            w_end = j + sw * out_w
+            padded[:, :, i:h_end:sh, j:w_end:sw] += cols[:, :, i, j]
+    if ph or pw:
+        return padded[:, :, ph : ph + h, pw : pw + w]
+    return padded
+
+
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    stride: IntPair = 1,
+    padding: IntPair = 0,
+    groups: int = 1,
+) -> Tensor:
+    """2-D cross-correlation over a batch of images.
+
+    Parameters
+    ----------
+    x:
+        Input of shape ``(N, C_in, H, W)``.
+    weight:
+        Filters of shape ``(C_out, C_in // groups, kH, kW)``.
+    bias:
+        Optional per-output-channel bias of shape ``(C_out,)``.
+    stride, padding:
+        Int or (h, w) pair.
+    groups:
+        Channel groups; ``groups == C_in`` with ``C_out == C_in`` gives a
+        depthwise convolution.
+    """
+    stride = _pair(stride)
+    padding = _pair(padding)
+    n, c_in, h, w = x.shape
+    c_out, c_in_per_group, kh, kw = weight.shape
+    if c_in != c_in_per_group * groups:
+        raise ValueError(
+            f"conv2d channel mismatch: input has {c_in} channels but weight expects "
+            f"{c_in_per_group * groups} (groups={groups})"
+        )
+    if c_out % groups:
+        raise ValueError(f"c_out={c_out} not divisible by groups={groups}")
+
+    out_h = conv_output_size(h, kh, stride[0], padding[0])
+    out_w = conv_output_size(w, kw, stride[1], padding[1])
+    c_out_per_group = c_out // groups
+
+    cols = im2col(x.data, (kh, kw), stride, padding)  # (N, C_in*kh*kw, L)
+    length = out_h * out_w
+
+    if groups == 1:
+        w_mat = weight.data.reshape(c_out, -1)  # (C_out, C_in*kh*kw)
+        out = np.matmul(w_mat[None], cols)  # batched GEMM -> (N, C_out, L)
+    else:
+        cols_g = cols.reshape(n, groups, c_in_per_group * kh * kw, length)
+        w_mat = weight.data.reshape(groups, c_out_per_group, -1)
+        out = np.einsum("gok,ngkl->ngol", w_mat, cols_g, optimize=True)
+        out = out.reshape(n, c_out, length)
+
+    out = out.reshape(n, c_out, out_h, out_w)
+    if bias is not None:
+        out = out + bias.data.reshape(1, c_out, 1, 1)
+
+    x_shape = x.shape
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(grad: np.ndarray) -> None:
+        grad_flat = grad.reshape(n, c_out, length)
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad_flat.sum(axis=(0, 2)))
+        if groups == 1:
+            if weight.requires_grad:
+                grad_w = np.matmul(grad_flat, cols.transpose(0, 2, 1)).sum(axis=0)
+                weight._accumulate(grad_w.reshape(weight.shape))
+            if x.requires_grad:
+                w_mat_local = weight.data.reshape(c_out, -1)
+                grad_cols = np.matmul(w_mat_local.T[None], grad_flat)
+                x._accumulate(col2im(grad_cols, x_shape, (kh, kw), stride, padding))
+        else:
+            grad_g = grad_flat.reshape(n, groups, c_out_per_group, length)
+            cols_g_local = cols.reshape(n, groups, c_in_per_group * kh * kw, length)
+            if weight.requires_grad:
+                grad_w = np.einsum("ngol,ngkl->gok", grad_g, cols_g_local, optimize=True)
+                weight._accumulate(grad_w.reshape(weight.shape))
+            if x.requires_grad:
+                w_mat_local = weight.data.reshape(groups, c_out_per_group, -1)
+                grad_cols = np.einsum("gok,ngol->ngkl", w_mat_local, grad_g, optimize=True)
+                grad_cols = grad_cols.reshape(n, c_in_per_group * groups * kh * kw, length)
+                x._accumulate(col2im(grad_cols, x_shape, (kh, kw), stride, padding))
+
+    return Tensor._make(out, parents, backward)
+
+
+def conv_transpose2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    stride: IntPair = 1,
+    padding: IntPair = 0,
+) -> Tensor:
+    """2-D transposed convolution (a.k.a. deconvolution).
+
+    The forward pass is exactly the data-gradient of :func:`conv2d`, so the
+    implementation reuses ``col2im``; the backward pass reuses ``im2col``.
+    Used by decoder networks (e.g. the LIRA-style trigger generator).
+
+    Parameters
+    ----------
+    x:
+        Input of shape ``(N, C_in, H, W)``.
+    weight:
+        Filters of shape ``(C_in, C_out, kH, kW)`` (PyTorch's transposed
+        layout: the *input* channel leads).
+    bias:
+        Optional per-output-channel bias ``(C_out,)``.
+    stride, padding:
+        Stride/padding of the *corresponding forward convolution*: output
+        spatial size is ``(H - 1) * stride - 2 * padding + kernel``.
+    """
+    stride = _pair(stride)
+    padding = _pair(padding)
+    n, c_in, h, w = x.shape
+    c_in_w, c_out, kh, kw = weight.shape
+    if c_in != c_in_w:
+        raise ValueError(
+            f"conv_transpose2d channel mismatch: input has {c_in}, weight expects {c_in_w}"
+        )
+    out_h = (h - 1) * stride[0] - 2 * padding[0] + kh
+    out_w = (w - 1) * stride[1] - 2 * padding[1] + kw
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError(f"non-positive output size {(out_h, out_w)}")
+
+    length = h * w
+    # Treat x as the "gradient" flowing into a conv over the output image:
+    # cols[n, c_out*kh*kw, l] = W^T @ x, then fold with col2im.
+    w_mat = weight.data.reshape(c_in, c_out * kh * kw)  # (C_in, K)
+    x_flat = x.data.reshape(n, c_in, length)
+    cols = np.matmul(w_mat.T[None], x_flat)  # (N, C_out*kh*kw, L)
+    out = col2im(cols, (n, c_out, out_h, out_w), (kh, kw), stride, padding)
+    if bias is not None:
+        out = out + bias.data.reshape(1, c_out, 1, 1)
+
+    def backward(grad: np.ndarray) -> None:
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad.sum(axis=(0, 2, 3)))
+        grad_cols = im2col(grad, (kh, kw), stride, padding)  # (N, C_out*kh*kw, L)
+        if weight.requires_grad:
+            grad_w = np.matmul(x_flat, grad_cols.transpose(0, 2, 1)).sum(axis=0)
+            weight._accumulate(grad_w.reshape(weight.shape))
+        if x.requires_grad:
+            grad_x = np.matmul(w_mat[None], grad_cols)  # (N, C_in, L)
+            x._accumulate(grad_x.reshape(n, c_in, h, w))
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    return Tensor._make(out.astype(x.data.dtype), parents, backward)
+
+
+def max_pool2d(x: Tensor, kernel: IntPair, stride: Optional[IntPair] = None, padding: IntPair = 0) -> Tensor:
+    """Max pooling over (N, C, H, W)."""
+    kernel = _pair(kernel)
+    stride = kernel if stride is None else _pair(stride)
+    padding = _pair(padding)
+    n, c, h, w = x.shape
+    kh, kw = kernel
+    out_h = conv_output_size(h, kh, stride[0], padding[0])
+    out_w = conv_output_size(w, kw, stride[1], padding[1])
+
+    data = x.data
+    if padding[0] or padding[1]:
+        data = np.pad(
+            data,
+            ((0, 0), (0, 0), (padding[0], padding[0]), (padding[1], padding[1])),
+            constant_values=-np.inf,
+        )
+    strides = data.strides
+    windows = np.lib.stride_tricks.as_strided(
+        data,
+        shape=(n, c, out_h, out_w, kh, kw),
+        strides=(
+            strides[0],
+            strides[1],
+            strides[2] * stride[0],
+            strides[3] * stride[1],
+            strides[2],
+            strides[3],
+        ),
+        writeable=False,
+    )
+    flat = windows.reshape(n, c, out_h, out_w, kh * kw)
+    arg = flat.argmax(axis=-1)
+    out = np.take_along_axis(flat, arg[..., None], axis=-1)[..., 0]
+
+    x_shape = x.shape
+
+    def backward(grad: np.ndarray) -> None:
+        if not x.requires_grad:
+            return
+        grad_padded = np.zeros(
+            (n, c, h + 2 * padding[0], w + 2 * padding[1]), dtype=grad.dtype
+        )
+        ki, kj = np.unravel_index(arg, (kh, kw))
+        oi = np.arange(out_h).reshape(1, 1, out_h, 1) * stride[0]
+        oj = np.arange(out_w).reshape(1, 1, 1, out_w) * stride[1]
+        rows = (oi + ki).reshape(n, c, -1)
+        cols_idx = (oj + kj).reshape(n, c, -1)
+        ni = np.arange(n).reshape(n, 1, 1)
+        ci = np.arange(c).reshape(1, c, 1)
+        np.add.at(grad_padded, (ni, ci, rows, cols_idx), grad.reshape(n, c, -1))
+        if padding[0] or padding[1]:
+            grad_padded = grad_padded[
+                :, :, padding[0] : padding[0] + h, padding[1] : padding[1] + w
+            ]
+        x._accumulate(grad_padded.reshape(x_shape))
+
+    return Tensor._make(np.ascontiguousarray(out), (x,), backward)
+
+
+def avg_pool2d(x: Tensor, kernel: IntPair, stride: Optional[IntPair] = None, padding: IntPair = 0) -> Tensor:
+    """Average pooling over (N, C, H, W)."""
+    kernel = _pair(kernel)
+    stride = kernel if stride is None else _pair(stride)
+    padding = _pair(padding)
+    n, c, h, w = x.shape
+    kh, kw = kernel
+    out_h = conv_output_size(h, kh, stride[0], padding[0])
+    out_w = conv_output_size(w, kw, stride[1], padding[1])
+    scale = 1.0 / (kh * kw)
+
+    data = x.data
+    if padding[0] or padding[1]:
+        data = np.pad(data, ((0, 0), (0, 0), (padding[0], padding[0]), (padding[1], padding[1])))
+    strides = data.strides
+    windows = np.lib.stride_tricks.as_strided(
+        data,
+        shape=(n, c, out_h, out_w, kh, kw),
+        strides=(
+            strides[0],
+            strides[1],
+            strides[2] * stride[0],
+            strides[3] * stride[1],
+            strides[2],
+            strides[3],
+        ),
+        writeable=False,
+    )
+    out = windows.mean(axis=(-1, -2))
+    x_shape = x.shape
+
+    def backward(grad: np.ndarray) -> None:
+        if not x.requires_grad:
+            return
+        grad_padded = np.zeros((n, c, h + 2 * padding[0], w + 2 * padding[1]), dtype=grad.dtype)
+        spread = grad * scale
+        for i in range(kh):
+            for j in range(kw):
+                grad_padded[
+                    :, :, i : i + stride[0] * out_h : stride[0], j : j + stride[1] * out_w : stride[1]
+                ] += spread
+        if padding[0] or padding[1]:
+            grad_padded = grad_padded[
+                :, :, padding[0] : padding[0] + h, padding[1] : padding[1] + w
+            ]
+        x._accumulate(grad_padded.reshape(x_shape))
+
+    return Tensor._make(np.ascontiguousarray(out), (x,), backward)
+
+
+def adaptive_avg_pool2d(x: Tensor, output_size: IntPair = 1) -> Tensor:
+    """Adaptive average pooling; only output sizes that evenly divide are supported."""
+    oh, ow = _pair(output_size)
+    _, _, h, w = x.shape
+    if h % oh or w % ow:
+        raise ValueError(f"adaptive_avg_pool2d requires divisible sizes, got {(h, w)} -> {(oh, ow)}")
+    return avg_pool2d(x, kernel=(h // oh, w // ow))
+
+
+def batch_norm2d_train(
+    x: Tensor, weight: Tensor, bias: Tensor, eps: float
+) -> Tuple[Tensor, np.ndarray, np.ndarray]:
+    """Fused training-mode batch norm over (N, C, H, W).
+
+    Normalizes with batch statistics and returns ``(out, batch_mean,
+    batch_var)`` so the layer can update its running buffers.  The backward
+    pass uses the closed-form batch-norm gradient, which is several times
+    faster than composing it from primitive autograd ops.
+    """
+    n, c, h, w = x.shape
+    count = n * h * w
+    mean = x.data.mean(axis=(0, 2, 3))
+    var = x.data.var(axis=(0, 2, 3))
+    inv_std = 1.0 / np.sqrt(var + eps)
+    mean_b = mean.reshape(1, c, 1, 1)
+    inv_b = inv_std.reshape(1, c, 1, 1)
+    x_hat = (x.data - mean_b) * inv_b
+    out = x_hat * weight.data.reshape(1, c, 1, 1) + bias.data.reshape(1, c, 1, 1)
+
+    def backward(grad: np.ndarray) -> None:
+        if weight.requires_grad:
+            weight._accumulate((grad * x_hat).sum(axis=(0, 2, 3)))
+        if bias.requires_grad:
+            bias._accumulate(grad.sum(axis=(0, 2, 3)))
+        if x.requires_grad:
+            gamma = weight.data.reshape(1, c, 1, 1)
+            grad_xhat = grad * gamma
+            sum_g = grad_xhat.sum(axis=(0, 2, 3), keepdims=True)
+            sum_gx = (grad_xhat * x_hat).sum(axis=(0, 2, 3), keepdims=True)
+            grad_x = inv_b / count * (count * grad_xhat - sum_g - x_hat * sum_gx)
+            x._accumulate(grad_x.astype(x.data.dtype))
+
+    result = Tensor._make(out.astype(x.data.dtype), (x, weight, bias), backward)
+    return result, mean, var
+
+
+def batch_norm2d_eval(
+    x: Tensor,
+    weight: Tensor,
+    bias: Tensor,
+    running_mean: np.ndarray,
+    running_var: np.ndarray,
+    eps: float,
+) -> Tensor:
+    """Fused eval-mode batch norm using stored running statistics."""
+    c = x.shape[1]
+    inv_std = (1.0 / np.sqrt(running_var + eps)).astype(x.data.dtype)
+    scale = weight.data * inv_std
+    shift = bias.data - running_mean * scale
+    out = x.data * scale.reshape(1, c, 1, 1) + shift.reshape(1, c, 1, 1)
+    x_data = x.data
+
+    def backward(grad: np.ndarray) -> None:
+        if weight.requires_grad:
+            x_hat = (x_data - running_mean.reshape(1, c, 1, 1)) * inv_std.reshape(1, c, 1, 1)
+            weight._accumulate((grad * x_hat).sum(axis=(0, 2, 3)))
+        if bias.requires_grad:
+            bias._accumulate(grad.sum(axis=(0, 2, 3)))
+        if x.requires_grad:
+            x._accumulate(grad * scale.reshape(1, c, 1, 1))
+
+    return Tensor._make(out.astype(x.data.dtype), (x, weight, bias), backward)
+
+
+def pad2d(x: Tensor, padding: IntPair) -> Tensor:
+    """Zero-pad the spatial dimensions of (N, C, H, W)."""
+    ph, pw = _pair(padding)
+    out = np.pad(x.data, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+    _, _, h, w = x.shape
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad[:, :, ph : ph + h, pw : pw + w])
+
+    return Tensor._make(out, (x,), backward)

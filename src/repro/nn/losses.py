@@ -1,0 +1,91 @@
+"""Loss functions.
+
+Cross-entropy is the workhorse: it drives clean training, attack poisoning,
+every fine-tuning defense, and — with *correct* labels on *backdoor* inputs —
+the paper's unlearning loss (Eq. 2).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["cross_entropy", "nll_loss", "mse_loss", "kl_div_loss", "soft_cross_entropy"]
+
+Labels = Union[np.ndarray, Tensor]
+
+
+def _label_array(targets: Labels) -> np.ndarray:
+    if isinstance(targets, Tensor):
+        targets = targets.data
+    return np.asarray(targets).astype(np.int64).reshape(-1)
+
+
+def cross_entropy(logits: Tensor, targets: Labels, reduction: str = "mean") -> Tensor:
+    """Softmax cross-entropy with integer class targets.
+
+    Parameters
+    ----------
+    logits:
+        Unnormalized scores of shape ``(N, C)``.
+    targets:
+        Integer class indices of shape ``(N,)``.
+    reduction:
+        ``"mean"``, ``"sum"``, or ``"none"``.
+    """
+    labels = _label_array(targets)
+    log_probs = logits.log_softmax(axis=-1)
+    return nll_loss(log_probs, labels, reduction=reduction)
+
+
+def nll_loss(log_probs: Tensor, targets: Labels, reduction: str = "mean") -> Tensor:
+    """Negative log-likelihood over log-probabilities."""
+    labels = _label_array(targets)
+    n = log_probs.shape[0]
+    picked = log_probs[np.arange(n), labels]
+    loss = -picked
+    if reduction == "none":
+        return loss
+    if reduction == "sum":
+        return loss.sum()
+    if reduction == "mean":
+        return loss.mean()
+    raise ValueError(f"unknown reduction {reduction!r}")
+
+
+def soft_cross_entropy(logits: Tensor, soft_targets: np.ndarray, reduction: str = "mean") -> Tensor:
+    """Cross-entropy against a full target distribution (used by NAD-style distillation)."""
+    log_probs = logits.log_softmax(axis=-1)
+    loss = -(log_probs * Tensor(np.asarray(soft_targets, dtype=np.float32))).sum(axis=-1)
+    if reduction == "none":
+        return loss
+    if reduction == "sum":
+        return loss.sum()
+    return loss.mean()
+
+
+def mse_loss(prediction: Tensor, target: Union[Tensor, np.ndarray], reduction: str = "mean") -> Tensor:
+    """Mean squared error."""
+    target_t = target if isinstance(target, Tensor) else Tensor(np.asarray(target, dtype=np.float32))
+    diff = (prediction - target_t).pow(2.0)
+    if reduction == "none":
+        return diff
+    if reduction == "sum":
+        return diff.sum()
+    return diff.mean()
+
+
+def kl_div_loss(student_log_probs: Tensor, teacher_probs: np.ndarray, reduction: str = "mean") -> Tensor:
+    """KL(teacher || student) given student log-probs and teacher probs."""
+    teacher = np.asarray(teacher_probs, dtype=np.float32)
+    safe = np.clip(teacher, 1e-12, None)
+    const = float((teacher * np.log(safe)).sum(axis=-1).mean()) if reduction == "mean" else 0.0
+    cross = -(student_log_probs * Tensor(teacher)).sum(axis=-1)
+    if reduction == "none":
+        return cross
+    if reduction == "sum":
+        return cross.sum()
+    return cross.mean() + const

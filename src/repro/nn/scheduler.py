@@ -1,0 +1,62 @@
+"""Learning-rate schedulers."""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from .optim import Optimizer
+
+__all__ = ["StepLR", "CosineAnnealingLR", "MultiStepLR"]
+
+
+class _Scheduler:
+    def __init__(self, optimizer: Optimizer) -> None:
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def step(self) -> None:
+        self.epoch += 1
+        self.optimizer.lr = self.get_lr()
+
+    def get_lr(self) -> float:
+        raise NotImplementedError
+
+
+class StepLR(_Scheduler):
+    """Multiply the learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1) -> None:
+        super().__init__(optimizer)
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def get_lr(self) -> float:
+        return self.base_lr * (self.gamma ** (self.epoch // self.step_size))
+
+
+class MultiStepLR(_Scheduler):
+    """Multiply the learning rate by ``gamma`` at each milestone epoch."""
+
+    def __init__(self, optimizer: Optimizer, milestones: List[int], gamma: float = 0.1) -> None:
+        super().__init__(optimizer)
+        self.milestones = sorted(milestones)
+        self.gamma = gamma
+
+    def get_lr(self) -> float:
+        passed = sum(1 for m in self.milestones if self.epoch >= m)
+        return self.base_lr * (self.gamma ** passed)
+
+
+class CosineAnnealingLR(_Scheduler):
+    """Cosine decay from the base LR to ``eta_min`` over ``t_max`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, t_max: int, eta_min: float = 0.0) -> None:
+        super().__init__(optimizer)
+        self.t_max = t_max
+        self.eta_min = eta_min
+
+    def get_lr(self) -> float:
+        t = min(self.epoch, self.t_max)
+        return self.eta_min + 0.5 * (self.base_lr - self.eta_min) * (1 + math.cos(math.pi * t / self.t_max))

@@ -1,0 +1,36 @@
+"""Checkpoint save/load for modules (npz-backed state dicts)."""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import numpy as np
+
+from .module import Module
+
+__all__ = ["save_state", "load_state", "save_module", "load_module"]
+
+
+def save_state(state: Dict[str, np.ndarray], path: str) -> None:
+    """Save a state dict to ``path`` (``.npz``)."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    np.savez(path, **state)
+
+
+def load_state(path: str) -> Dict[str, np.ndarray]:
+    """Load a state dict saved by :func:`save_state`."""
+    with np.load(path) as archive:
+        return {key: archive[key] for key in archive.files}
+
+
+def save_module(module: Module, path: str) -> None:
+    """Save a module's parameters and buffers."""
+    save_state(module.state_dict(), path)
+
+
+def load_module(module: Module, path: str, strict: bool = True) -> Module:
+    """Load parameters and buffers into ``module`` in place."""
+    module.load_state_dict(load_state(path), strict=strict)
+    return module

@@ -1,0 +1,164 @@
+"""STRIP runtime backdoor-input detection (Gao et al., 2019).
+
+A complementary defense surface to model repair: at inference time, blend
+the suspect input with random clean images and measure the *entropy* of the
+prediction over the perturbed copies.  A trigger dominates whatever it is
+blended with, so triggered inputs keep classifying as the target with low
+entropy, while clean inputs become uncertain (high entropy).  Inputs whose
+mean entropy falls below a threshold calibrated on clean data are flagged.
+
+Included because the reproduction's defender toolbox (trigger synthesis +
+model repair) naturally pairs with input filtering, and because it gives
+the evaluation harness a second, independent signal that an attack is
+actually embedded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..data.dataset import ImageDataset
+from ..nn import Tensor, no_grad
+from ..nn.module import Module
+
+__all__ = ["StripDetector", "StripResult", "prediction_entropy", "evaluate_filtered_inference"]
+
+
+def prediction_entropy(model: Module, images: np.ndarray, batch_size: int = 256) -> np.ndarray:
+    """Shannon entropy (nats) of the softmax prediction per image."""
+    model.eval()
+    entropies = []
+    with no_grad():
+        for start in range(0, len(images), batch_size):
+            logits = model(Tensor(images[start : start + batch_size]))
+            probs = logits.softmax(axis=-1).data
+            safe = np.clip(probs, 1e-12, 1.0)
+            entropies.append(-(safe * np.log(safe)).sum(axis=-1))
+    return np.concatenate(entropies) if entropies else np.empty(0)
+
+
+@dataclass
+class StripResult:
+    """Per-input STRIP scores and verdicts."""
+
+    entropies: np.ndarray  # mean perturbation entropy per input
+    flagged: np.ndarray  # boolean: input deemed triggered
+    threshold: float
+
+
+@dataclass
+class FilteredInferenceResult:
+    """End-to-end impact of STRIP-gated inference.
+
+    ``effective_asr`` counts a triggered input as an attack success only if
+    it was *not* flagged AND classified as the target — the deployment
+    metric a runtime filter actually changes.  ``clean_rejection_rate`` is
+    the price: clean inputs refused service.
+    """
+
+    effective_asr: float
+    raw_asr: float
+    triggered_detection_rate: float
+    clean_rejection_rate: float
+
+
+def evaluate_filtered_inference(
+    model,
+    detector: "StripDetector",
+    test_set: ImageDataset,
+    attack,
+) -> FilteredInferenceResult:
+    """Measure ASR with and without the STRIP gate in front of the model."""
+    from ..eval.metrics import evaluate_backdoor_metrics
+    from ..training import predict
+
+    raw = evaluate_backdoor_metrics(model, test_set, attack)
+    victims = test_set.subset(np.flatnonzero(test_set.labels != attack.target_class))
+    triggered = attack.apply(victims.images)
+    triggered_result = detector.detect(triggered)
+    clean_result = detector.detect(test_set.images)
+    predictions = predict(model, triggered)
+    success = (predictions == attack.target_class) & ~triggered_result.flagged
+    return FilteredInferenceResult(
+        effective_asr=float(success.mean()),
+        raw_asr=raw.asr,
+        triggered_detection_rate=float(triggered_result.flagged.mean()),
+        clean_rejection_rate=float(clean_result.flagged.mean()),
+    )
+
+
+class StripDetector:
+    """Entropy-based triggered-input detector.
+
+    Parameters
+    ----------
+    model:
+        The (possibly backdoored) classifier.
+    clean_pool:
+        Clean images used both for blending and for threshold calibration.
+    num_overlays:
+        Blended copies per suspect input.
+    blend_alpha:
+        Overlay opacity: ``(1 - alpha) * suspect + alpha * clean``.
+    false_positive_rate:
+        Calibration quantile — the fraction of *clean* inputs the detector
+        may flag.
+    seed:
+        Overlay sampling seed.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        clean_pool: ImageDataset,
+        num_overlays: int = 16,
+        blend_alpha: float = 0.5,
+        false_positive_rate: float = 0.05,
+        seed: int = 0,
+    ) -> None:
+        if len(clean_pool) < 2:
+            raise ValueError("STRIP needs a pool of clean images to blend with")
+        if not 0.0 < blend_alpha < 1.0:
+            raise ValueError(f"blend_alpha must be in (0, 1), got {blend_alpha}")
+        if not 0.0 < false_positive_rate < 1.0:
+            raise ValueError(f"false_positive_rate must be in (0, 1), got {false_positive_rate}")
+        self.model = model
+        self.clean_pool = clean_pool
+        self.num_overlays = num_overlays
+        self.blend_alpha = blend_alpha
+        self.false_positive_rate = false_positive_rate
+        self._rng = np.random.default_rng(seed)
+        self._threshold: Optional[float] = None
+
+    def score(self, images: np.ndarray) -> np.ndarray:
+        """Mean perturbation entropy per input (low = suspicious)."""
+        images = np.asarray(images, dtype=np.float32)
+        n = len(images)
+        pool = self.clean_pool.images
+        scores = np.zeros(n)
+        for k in range(self.num_overlays):
+            overlay_idx = self._rng.integers(0, len(pool), size=n)
+            blended = (1.0 - self.blend_alpha) * images + self.blend_alpha * pool[overlay_idx]
+            blended = np.clip(blended, 0.0, 1.0).astype(np.float32)
+            scores += prediction_entropy(self.model, blended)
+        return scores / self.num_overlays
+
+    def calibrate(self) -> float:
+        """Set the flagging threshold from clean-pool scores; returns it."""
+        clean_scores = self.score(self.clean_pool.images)
+        self._threshold = float(np.quantile(clean_scores, self.false_positive_rate))
+        return self._threshold
+
+    def detect(self, images: np.ndarray) -> StripResult:
+        """Score ``images`` and flag those below the calibrated threshold."""
+        if self._threshold is None:
+            self.calibrate()
+        entropies = self.score(images)
+        return StripResult(
+            entropies=entropies,
+            flagged=entropies < self._threshold,
+            threshold=self._threshold,
+        )

@@ -1,0 +1,6 @@
+"""Shared utilities: seeding, logging, timing."""
+
+from .logging import Timer, get_logger
+from .seeding import derive_seed, make_rng, seed_sequence
+
+__all__ = ["derive_seed", "seed_sequence", "make_rng", "get_logger", "Timer"]

@@ -1,0 +1,52 @@
+"""Minimal structured logging for long-running experiment harnesses."""
+
+from __future__ import annotations
+
+import logging
+import sys
+import time
+from typing import Optional
+
+__all__ = ["get_logger", "Timer"]
+
+_CONFIGURED = False
+
+
+def get_logger(name: str = "repro", level: int = logging.INFO) -> logging.Logger:
+    """Return a configured library logger (stderr, single handler)."""
+    global _CONFIGURED
+    root = logging.getLogger("repro")
+    if not _CONFIGURED:
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s", "%H:%M:%S")
+        )
+        root.addHandler(handler)
+        root.setLevel(level)
+        root.propagate = False
+        _CONFIGURED = True
+    return logging.getLogger(name)
+
+
+class Timer:
+    """Context manager measuring wall-clock seconds.
+
+    >>> with Timer() as t:
+    ...     pass
+    >>> t.elapsed >= 0
+    True
+    """
+
+    def __init__(self, label: Optional[str] = None, logger: Optional[logging.Logger] = None) -> None:
+        self.label = label
+        self.logger = logger
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.elapsed = time.perf_counter() - self._start
+        if self.label and self.logger:
+            self.logger.info("%s took %.2fs", self.label, self.elapsed)

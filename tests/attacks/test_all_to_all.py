@@ -1,0 +1,64 @@
+"""All-to-all relabeling tests (paper §II-A's cyclic attack variant)."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import BadNetsAttack, poison_dataset
+from repro.data import ImageDataset
+
+SHAPE = (3, 8, 8)
+
+
+def make_dataset(n=60, num_classes=5, seed=0):
+    rng = np.random.default_rng(seed)
+    return ImageDataset(
+        rng.uniform(0, 1, (n, *SHAPE)).astype(np.float32), np.arange(n) % num_classes
+    )
+
+
+def attack():
+    return BadNetsAttack(target_class=0, image_shape=SHAPE, patch_size=2)
+
+
+class TestAllToAll:
+    def test_labels_shift_cyclically(self):
+        ds = make_dataset()
+        poisoned, info = poison_dataset(
+            ds, attack(), 0.3, np.random.default_rng(0), relabel="all_to_all"
+        )
+        idx = info.poisoned_indices
+        assert np.array_equal(poisoned.labels[idx], (ds.labels[idx] + 1) % 5)
+
+    def test_last_class_wraps_to_zero(self):
+        ds = make_dataset(num_classes=3)
+        poisoned, info = poison_dataset(
+            ds, attack(), 0.5, np.random.default_rng(1), relabel="all_to_all"
+        )
+        last_class = info.poisoned_indices[ds.labels[info.poisoned_indices] == 2]
+        if len(last_class):
+            assert np.all(poisoned.labels[last_class] == 0)
+
+    def test_all_classes_participate(self):
+        ds = make_dataset()
+        _, info = poison_dataset(
+            ds, attack(), 0.8, np.random.default_rng(2), relabel="all_to_all"
+        )
+        poisoned_classes = set(ds.labels[info.poisoned_indices].tolist())
+        assert 0 in poisoned_classes  # target class not excluded in all-to-all
+
+    def test_triggers_still_applied(self):
+        ds = make_dataset()
+        poisoned, info = poison_dataset(
+            ds, attack(), 0.3, np.random.default_rng(3), relabel="all_to_all"
+        )
+        idx = info.poisoned_indices[0]
+        assert poisoned.images[idx, 0, -1, -2] == 1.0  # checker corner
+
+    def test_unknown_mode_raises(self):
+        with pytest.raises(ValueError, match="relabel"):
+            poison_dataset(make_dataset(), attack(), 0.1, relabel="all_to_none")
+
+    def test_all_to_one_unchanged_by_default(self):
+        ds = make_dataset()
+        poisoned, info = poison_dataset(ds, attack(), 0.3, np.random.default_rng(4))
+        assert np.all(poisoned.labels[info.poisoned_indices] == 0)

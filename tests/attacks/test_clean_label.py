@@ -1,0 +1,56 @@
+"""Clean-label poisoning tests (the SIG protocol)."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import SIGAttack, poison_dataset
+from repro.data import ImageDataset
+
+SHAPE = (3, 8, 8)
+
+
+def make_dataset(n=100, num_classes=5, seed=0):
+    rng = np.random.default_rng(seed)
+    return ImageDataset(
+        rng.uniform(0, 1, (n, *SHAPE)).astype(np.float32), np.arange(n) % num_classes
+    )
+
+
+def attack():
+    return SIGAttack(target_class=2, image_shape=SHAPE, amplitude=0.2)
+
+
+class TestCleanLabel:
+    def test_no_labels_changed(self):
+        ds = make_dataset()
+        poisoned, info = poison_dataset(
+            ds, attack(), 0.5, np.random.default_rng(0), relabel="clean_label"
+        )
+        assert np.array_equal(poisoned.labels, ds.labels)
+
+    def test_only_target_class_poisoned(self):
+        ds = make_dataset()
+        _, info = poison_dataset(
+            ds, attack(), 0.5, np.random.default_rng(0), relabel="clean_label"
+        )
+        assert np.all(ds.labels[info.poisoned_indices] == 2)
+
+    def test_ratio_relative_to_target_class(self):
+        ds = make_dataset(n=100, num_classes=5)  # 20 per class
+        _, info = poison_dataset(
+            ds, attack(), 0.5, np.random.default_rng(0), relabel="clean_label"
+        )
+        assert len(info.poisoned_indices) == 10  # 50 % of 20
+
+    def test_images_actually_triggered(self):
+        ds = make_dataset()
+        poisoned, info = poison_dataset(
+            ds, attack(), 0.5, np.random.default_rng(0), relabel="clean_label"
+        )
+        idx = info.poisoned_indices[0]
+        assert not np.array_equal(poisoned.images[idx], ds.images[idx])
+
+    def test_no_target_samples_raises(self):
+        ds = make_dataset(num_classes=2)  # labels 0/1, target is 2
+        with pytest.raises(ValueError, match="target-class"):
+            poison_dataset(ds, attack(), 0.5, relabel="clean_label")

@@ -1,0 +1,114 @@
+"""Tests for the extension attacks: SIG and DynamicPatch."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import DynamicPatchAttack, SIGAttack
+
+SHAPE = (3, 16, 16)
+
+
+def images(n=6, seed=0):
+    return np.random.default_rng(seed).uniform(0, 1, (n, *SHAPE)).astype(np.float32)
+
+
+class TestSIG:
+    def test_signal_is_horizontal_sinusoid(self):
+        attack = SIGAttack(image_shape=SHAPE, amplitude=0.1, frequency=4.0)
+        x = np.full((1, *SHAPE), 0.5, dtype=np.float32)
+        out = attack.apply(x)
+        delta = out - x
+        # Same perturbation in every row and channel.
+        assert np.allclose(delta[0, 0, 0], delta[0, 0, -1], atol=1e-6)
+        assert np.allclose(delta[0, 0], delta[0, 2], atol=1e-6)
+        # Sinusoid: zero mean (no DC) and bounded by amplitude.
+        assert abs(delta[0, 0, 0].mean()) < 0.02
+        assert np.abs(delta).max() <= 0.1 + 1e-6
+
+    def test_amplitude_bound(self):
+        attack = SIGAttack(image_shape=SHAPE, amplitude=0.05)
+        x = images()
+        assert np.abs(attack.apply(x) - x).max() <= 0.05 + 1e-6
+
+    def test_invalid_params_raise(self):
+        with pytest.raises(ValueError):
+            SIGAttack(image_shape=SHAPE, amplitude=0.0)
+        with pytest.raises(ValueError):
+            SIGAttack(image_shape=SHAPE, frequency=-1.0)
+
+    def test_clipping_keeps_unit_range(self):
+        attack = SIGAttack(image_shape=SHAPE, amplitude=0.5)
+        out = attack.apply(np.ones((2, *SHAPE), dtype=np.float32))
+        assert out.max() <= 1.0 and out.min() >= 0.0
+
+
+class TestDynamicPatch:
+    def test_patch_follows_brightest_cell(self):
+        attack = DynamicPatchAttack(image_shape=SHAPE, patch_size=2, grid=4)
+        x = np.zeros((1, *SHAPE), dtype=np.float32)
+        x[0, :, 8:12, 4:8] = 0.9  # brightest cell: row 2, col 1 of the 4x4 grid
+        out = attack.apply(x)
+        patch_region = out[0, 0, 8:10, 4:6]
+        assert patch_region.tolist() == [[0.0, 1.0], [1.0, 0.0]]
+
+    def test_location_varies_with_content(self):
+        attack = DynamicPatchAttack(image_shape=SHAPE, patch_size=2, grid=4)
+        a = np.zeros((1, *SHAPE), dtype=np.float32)
+        a[0, :, 0:4, 0:4] = 1.0
+        b = np.zeros((1, *SHAPE), dtype=np.float32)
+        b[0, :, 12:16, 12:16] = 1.0
+        out_a = attack.apply(a)
+        out_b = attack.apply(b)
+        diff_a = np.abs(out_a - a).sum(axis=(0, 1))
+        diff_b = np.abs(out_b - b).sum(axis=(0, 1))
+        loc_a = np.unravel_index(diff_a.argmax(), diff_a.shape)
+        loc_b = np.unravel_index(diff_b.argmax(), diff_b.shape)
+        assert loc_a != loc_b
+
+    def test_deterministic_per_image(self):
+        attack = DynamicPatchAttack(image_shape=SHAPE)
+        x = images()
+        assert np.array_equal(attack.apply(x), attack.apply(x))
+
+    def test_patch_stays_in_bounds(self):
+        attack = DynamicPatchAttack(image_shape=SHAPE, patch_size=3, grid=4)
+        # Brightest cell at the bottom-right corner: patch must be clamped.
+        x = np.zeros((1, *SHAPE), dtype=np.float32)
+        x[0, :, 12:, 12:] = 1.0
+        out = attack.apply(x)
+        assert out.shape == (1, *SHAPE)
+
+    def test_invalid_grid_raises(self):
+        with pytest.raises(ValueError):
+            DynamicPatchAttack(image_shape=SHAPE, grid=5)  # 5 doesn't divide 16
+        with pytest.raises(ValueError):
+            DynamicPatchAttack(image_shape=SHAPE, grid=1)
+
+    def test_oversized_patch_raises(self):
+        with pytest.raises(ValueError):
+            DynamicPatchAttack(image_shape=SHAPE, patch_size=9)
+
+
+class TestExtensionAttacksEmbed:
+    """SIG and dynamic-patch triggers must actually embed on the tiny task."""
+
+    @pytest.mark.parametrize("factory", [
+        lambda shape: SIGAttack(target_class=0, image_shape=shape, amplitude=0.25, frequency=2.0),
+        lambda shape: DynamicPatchAttack(target_class=0, image_shape=shape, patch_size=2, grid=2),
+    ], ids=["sig", "dynamic_patch"])
+    def test_embeds(self, factory, tiny_train, tiny_test):
+        from repro.attacks import train_backdoored_model
+        from repro.eval import evaluate_backdoor_metrics
+        from repro.training import TrainConfig
+        from tests.conftest import IMAGE_SHAPE, TinyConvNet
+
+        attack = factory(IMAGE_SHAPE)
+        model = TinyConvNet(seed=2)
+        train_backdoored_model(
+            model, tiny_train, attack, poison_ratio=0.2,
+            config=TrainConfig(epochs=8, batch_size=32, lr=0.08),
+            rng=np.random.default_rng(1),
+        )
+        metrics = evaluate_backdoor_metrics(model, tiny_test, attack)
+        assert metrics.acc > 0.6
+        assert metrics.asr > 0.5

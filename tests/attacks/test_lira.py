@@ -1,0 +1,82 @@
+"""LIRA-style learned-generator attack tests."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import LiraAttack, TriggerGenerator, train_lira
+from repro.eval import evaluate_backdoor_metrics
+from repro.training import TrainConfig, train_classifier
+from tests.conftest import IMAGE_SHAPE, TinyConvNet, make_tiny_dataset
+
+
+class TestTriggerGenerator:
+    def test_output_shape_matches_input(self):
+        gen = TriggerGenerator(channels=3, hidden=4, epsilon=0.1, seed=0)
+        from repro.nn import Tensor
+
+        x = Tensor(np.random.default_rng(0).uniform(0, 1, (2, 3, 8, 8)).astype(np.float32))
+        out = gen(x)
+        assert out.shape == (2, 3, 8, 8)
+
+    def test_epsilon_bound_by_construction(self):
+        gen = TriggerGenerator(epsilon=0.07, seed=0)
+        from repro.nn import Tensor
+
+        x = Tensor(np.random.default_rng(1).uniform(0, 1, (4, 3, 16, 16)).astype(np.float32))
+        out = gen(x)
+        assert np.abs(out.data).max() <= 0.07 + 1e-6
+
+    def test_invalid_epsilon_raises(self):
+        with pytest.raises(ValueError):
+            TriggerGenerator(epsilon=0.0)
+
+    def test_perturbation_is_input_dependent(self):
+        gen = TriggerGenerator(epsilon=0.1, seed=0)
+        from repro.nn import Tensor
+
+        rng = np.random.default_rng(2)
+        a = gen(Tensor(rng.uniform(0, 1, (1, 3, 8, 8)).astype(np.float32))).data
+        b = gen(Tensor(rng.uniform(0, 1, (1, 3, 8, 8)).astype(np.float32))).data
+        assert not np.allclose(a, b)
+
+
+class TestLiraAttack:
+    def test_apply_contract(self):
+        attack = LiraAttack(target_class=0, image_shape=IMAGE_SHAPE, epsilon=0.1, seed=0)
+        images = np.random.default_rng(0).uniform(0, 1, (5, *IMAGE_SHAPE)).astype(np.float32)
+        out = attack.apply(images)
+        assert out.shape == images.shape
+        assert out.min() >= 0.0 and out.max() <= 1.0
+        assert np.abs(out - images).max() <= 0.1 + 1e-5
+
+    def test_deterministic(self):
+        attack = LiraAttack(image_shape=IMAGE_SHAPE, seed=3)
+        images = np.random.default_rng(1).uniform(0, 1, (3, *IMAGE_SHAPE)).astype(np.float32)
+        assert np.array_equal(attack.apply(images), attack.apply(images))
+
+    def test_odd_image_size_rejected(self):
+        with pytest.raises(ValueError, match="even"):
+            LiraAttack(image_shape=(3, 9, 9))
+
+
+class TestJointTraining:
+    def test_lira_embeds_backdoor(self, tiny_train, tiny_test):
+        model = TinyConvNet(seed=0)
+        # Warm-start the classifier so the generator has real gradients.
+        train_classifier(model, tiny_train, TrainConfig(epochs=3, batch_size=32, lr=0.08))
+        attack = LiraAttack(target_class=0, image_shape=IMAGE_SHAPE, epsilon=0.25, hidden=8, seed=0)
+        log = train_lira(
+            model, attack, tiny_train,
+            epochs=6, batch_size=32, classifier_lr=0.05, generator_lr=3e-3, seed=0,
+        )
+        assert len(log.classifier_losses) == 6
+        assert log.backdoor_losses[-1] < log.backdoor_losses[0]
+        metrics = evaluate_backdoor_metrics(model, tiny_test, attack)
+        assert metrics.acc > 0.6  # main task intact
+        assert metrics.asr > 0.5  # learned trigger fires
+
+    def test_invalid_poison_fraction(self, tiny_train):
+        model = TinyConvNet(seed=0)
+        attack = LiraAttack(image_shape=IMAGE_SHAPE)
+        with pytest.raises(ValueError):
+            train_lira(model, attack, tiny_train, poison_fraction=0.0)

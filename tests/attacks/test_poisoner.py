@@ -1,0 +1,78 @@
+"""Training-set poisoning tests."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import BadNetsAttack, poison_dataset
+from repro.data import ImageDataset
+
+SHAPE = (3, 8, 8)
+
+
+def make_dataset(n=100, num_classes=5, seed=0):
+    rng = np.random.default_rng(seed)
+    return ImageDataset(
+        rng.uniform(0, 1, (n, *SHAPE)).astype(np.float32), np.arange(n) % num_classes
+    )
+
+
+def attack():
+    return BadNetsAttack(target_class=0, image_shape=SHAPE, patch_size=2)
+
+
+class TestPoisonDataset:
+    def test_ratio_respected(self):
+        poisoned, info = poison_dataset(make_dataset(), attack(), 0.1, np.random.default_rng(0))
+        assert len(info.poisoned_indices) == 10
+        assert len(poisoned) == 100
+
+    def test_poisoned_samples_have_target_label(self):
+        poisoned, info = poison_dataset(make_dataset(), attack(), 0.2, np.random.default_rng(0))
+        assert np.all(poisoned.labels[info.poisoned_indices] == 0)
+
+    def test_poisoned_samples_carry_trigger(self):
+        ds = make_dataset()
+        poisoned, info = poison_dataset(ds, attack(), 0.2, np.random.default_rng(0))
+        idx = info.poisoned_indices[0]
+        patch = poisoned.images[idx, 0, -2:, -2:]
+        assert patch.tolist() == [[0.0, 1.0], [1.0, 0.0]]
+
+    def test_clean_samples_untouched(self):
+        ds = make_dataset()
+        poisoned, info = poison_dataset(ds, attack(), 0.2, np.random.default_rng(0))
+        clean = np.setdiff1d(np.arange(len(ds)), info.poisoned_indices)
+        assert np.array_equal(poisoned.images[clean], ds.images[clean])
+        assert np.array_equal(poisoned.labels[clean], ds.labels[clean])
+
+    def test_target_class_excluded_by_default(self):
+        ds = make_dataset()
+        _, info = poison_dataset(ds, attack(), 0.2, np.random.default_rng(0))
+        assert np.all(ds.labels[info.poisoned_indices] != 0)
+
+    def test_target_class_included_when_requested(self):
+        ds = make_dataset()
+        rng = np.random.default_rng(0)
+        _, info = poison_dataset(ds, attack(), 0.9, rng, exclude_target_class=False)
+        assert np.any(ds.labels[info.poisoned_indices] == 0)
+
+    def test_invalid_ratio_raises(self):
+        with pytest.raises(ValueError):
+            poison_dataset(make_dataset(), attack(), 0.0)
+        with pytest.raises(ValueError):
+            poison_dataset(make_dataset(), attack(), 1.0)
+
+    def test_tiny_ratio_on_tiny_dataset_raises(self):
+        with pytest.raises(ValueError, match="zero samples"):
+            poison_dataset(make_dataset(n=4), attack(), 0.01)
+
+    def test_deterministic_with_rng(self):
+        ds = make_dataset()
+        _, a = poison_dataset(ds, attack(), 0.1, np.random.default_rng(3))
+        _, b = poison_dataset(ds, attack(), 0.1, np.random.default_rng(3))
+        assert np.array_equal(a.poisoned_indices, b.poisoned_indices)
+
+    def test_original_dataset_not_mutated(self):
+        ds = make_dataset()
+        before = ds.images.copy()
+        poison_dataset(ds, attack(), 0.2, np.random.default_rng(0))
+        assert np.array_equal(ds.images, before)

@@ -1,0 +1,103 @@
+"""Tests for the ablation scoring strategies (A1 machinery)."""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.core import SCORING_STRATEGIES, prune_by_strategy, rank_filters
+from repro.models import count_filters
+
+
+@pytest.fixture()
+def ablation_data(tiny_reservoir, tiny_attack):
+    from repro.data.splits import defender_split
+
+    clean_train, _ = defender_split(tiny_reservoir, 20, np.random.default_rng(0))
+    return {
+        "clean": clean_train,
+        "backdoor": tiny_attack.triggered_with_true_labels(clean_train),
+    }
+
+
+class TestRankFilters:
+    @pytest.mark.parametrize("strategy", SCORING_STRATEGIES)
+    def test_ranking_is_complete_permutation(self, strategy, backdoored_tiny_model, ablation_data):
+        model = copy.deepcopy(backdoored_tiny_model)
+        ranking = rank_filters(
+            model, strategy,
+            backdoor_train=ablation_data["backdoor"],
+            clean_train=ablation_data["clean"],
+            rng=np.random.default_rng(0),
+        )
+        assert len(ranking) == count_filters(model)
+        assert len(set(ranking)) == len(ranking)
+
+    def test_gradient_requires_backdoor_data(self, backdoored_tiny_model):
+        with pytest.raises(ValueError, match="backdoor"):
+            rank_filters(backdoored_tiny_model, "gradient")
+
+    def test_activation_requires_clean_data(self, backdoored_tiny_model):
+        with pytest.raises(ValueError, match="clean"):
+            rank_filters(backdoored_tiny_model, "activation")
+
+    def test_unknown_strategy_raises(self, backdoored_tiny_model):
+        with pytest.raises(KeyError):
+            rank_filters(backdoored_tiny_model, "astrology")
+
+    def test_random_is_rng_deterministic(self, backdoored_tiny_model):
+        a = rank_filters(backdoored_tiny_model, "random", rng=np.random.default_rng(5))
+        b = rank_filters(backdoored_tiny_model, "random", rng=np.random.default_rng(5))
+        assert a == b
+
+    def test_magnitude_ranks_smallest_first(self, backdoored_tiny_model):
+        model = copy.deepcopy(backdoored_tiny_model)
+        ranking = rank_filters(model, "magnitude")
+        from repro.models import iter_conv_layers
+
+        convs = dict(iter_conv_layers(model))
+
+        def norm(ref):
+            return float(np.abs(convs[ref.layer].weight.data[ref.index]).sum())
+
+        assert norm(ranking[0]) <= norm(ranking[-1])
+
+
+class TestPruneByStrategy:
+    def test_prunes_exact_budget(self, backdoored_tiny_model, ablation_data):
+        model = copy.deepcopy(backdoored_tiny_model)
+        mask = prune_by_strategy(
+            model, "gradient", budget=3, backdoor_train=ablation_data["backdoor"],
+        )
+        assert len(mask) == 3
+
+    def test_zero_budget_is_noop(self, backdoored_tiny_model, ablation_data):
+        model = copy.deepcopy(backdoored_tiny_model)
+        before = {k: v.copy() for k, v in model.state_dict().items()}
+        mask = prune_by_strategy(
+            model, "random", budget=0, rng=np.random.default_rng(0),
+        )
+        assert len(mask) == 0
+        for key, value in model.state_dict().items():
+            assert np.array_equal(before[key], value)
+
+    def test_negative_budget_raises(self, backdoored_tiny_model):
+        with pytest.raises(ValueError):
+            prune_by_strategy(backdoored_tiny_model, "random", budget=-1)
+
+    def test_gradient_strategy_damages_backdoor_more_than_random(
+        self, backdoored_tiny_model, ablation_data, tiny_test, tiny_attack
+    ):
+        from repro.eval import evaluate_backdoor_metrics
+
+        budget = 2
+        grad_model = copy.deepcopy(backdoored_tiny_model)
+        prune_by_strategy(grad_model, "gradient", budget, backdoor_train=ablation_data["backdoor"])
+        grad_metrics = evaluate_backdoor_metrics(grad_model, tiny_test, tiny_attack)
+
+        rand_asrs = []
+        for seed in range(3):
+            rand_model = copy.deepcopy(backdoored_tiny_model)
+            prune_by_strategy(rand_model, "random", budget, rng=np.random.default_rng(seed))
+            rand_asrs.append(evaluate_backdoor_metrics(rand_model, tiny_test, tiny_attack).asr)
+        assert grad_metrics.asr <= max(rand_asrs) + 1e-9

@@ -1,0 +1,72 @@
+"""Post-defense analysis tests."""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    pruned_vs_kept_sensitivity,
+    pruning_depth_profile,
+    trigger_sensitivity,
+)
+from repro.models import FilterRef, count_filters
+
+
+class TestDepthProfile:
+    def test_covers_all_layers(self, backdoored_tiny_model):
+        profile = pruning_depth_profile(backdoored_tiny_model, [])
+        assert len(profile) == 2  # TinyConvNet's two convs
+        assert all(count == 0 for _, count, _ in profile)
+        assert sum(total for _, _, total in profile) == count_filters(backdoored_tiny_model)
+
+    def test_counts_pruned(self, backdoored_tiny_model):
+        layers = [name for name, _, _ in pruning_depth_profile(backdoored_tiny_model, [])]
+        pruned = [FilterRef(layers[0], 0), FilterRef(layers[0], 1), FilterRef(layers[1], 3)]
+        profile = pruning_depth_profile(backdoored_tiny_model, pruned)
+        assert profile[0][1] == 2
+        assert profile[1][1] == 1
+
+
+class TestTriggerSensitivity:
+    def test_all_filters_scored(self, backdoored_tiny_model, tiny_test, tiny_attack):
+        sensitivity = trigger_sensitivity(backdoored_tiny_model, tiny_test, tiny_attack)
+        assert len(sensitivity) == count_filters(backdoored_tiny_model)
+        assert all(v >= 0 for v in sensitivity.values())
+
+    def test_backdoored_model_has_sensitive_filters(
+        self, backdoored_tiny_model, tiny_test, tiny_attack
+    ):
+        sensitivity = trigger_sensitivity(backdoored_tiny_model, tiny_test, tiny_attack)
+        values = np.array(list(sensitivity.values()))
+        # Some filters respond to the trigger far more than the median one.
+        assert values.max() > 3 * np.median(values)
+
+
+class TestPrunedVsKept:
+    def test_grad_prune_targets_sensitive_filters(
+        self, backdoored_tiny_model, tiny_reservoir, tiny_test, tiny_attack
+    ):
+        from repro.core import GradientPruner
+        from repro.data.splits import defender_split
+        from repro.models import PruningMask
+
+        sensitivity = trigger_sensitivity(backdoored_tiny_model, tiny_test, tiny_attack)
+        model = copy.deepcopy(backdoored_tiny_model)
+        clean_train, clean_val = defender_split(tiny_reservoir, 20, np.random.default_rng(0))
+        mask = PruningMask(model)
+        GradientPruner(alpha=0.0, patience=3, max_rounds=6).prune(
+            model,
+            tiny_attack.triggered_with_true_labels(clean_train),
+            clean_val,
+            tiny_attack.triggered_with_true_labels(clean_val),
+            mask=mask,
+        )
+        if len(mask) == 0:
+            pytest.skip("no filters pruned in this configuration")
+        comparison = pruned_vs_kept_sensitivity(sensitivity, mask.pruned_refs)
+        assert comparison["ratio"] > 1.0  # pruned filters were the responsive ones
+
+    def test_empty_populations_raise(self):
+        with pytest.raises(ValueError):
+            pruned_vs_kept_sensitivity({FilterRef("a", 0): 1.0}, [FilterRef("a", 0)])

@@ -1,0 +1,75 @@
+"""End-to-end Grad-Prune defense tests: does it actually remove the backdoor?"""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.core import GradPruneConfig, GradPruneDefense
+from repro.data.splits import defender_split
+from repro.defenses.base import DefenderData
+from repro.eval import evaluate_backdoor_metrics
+
+
+@pytest.fixture()
+def defender_data(tiny_reservoir, tiny_attack):
+    clean_train, clean_val = defender_split(
+        tiny_reservoir, spc=20, rng=np.random.default_rng(2)
+    )
+    return DefenderData(clean_train=clean_train, clean_val=clean_val, attack=tiny_attack)
+
+
+class TestGradPruneDefense:
+    def test_reduces_asr_and_keeps_acc(
+        self, backdoored_tiny_model, defender_data, tiny_test, tiny_attack
+    ):
+        model = copy.deepcopy(backdoored_tiny_model)
+        before = evaluate_backdoor_metrics(model, tiny_test, tiny_attack)
+        assert before.asr > 0.8  # fixture sanity: backdoor embedded
+
+        defense = GradPruneDefense(GradPruneConfig(
+            prune_patience=3, tune_patience=3, tune_max_epochs=10, seed=0,
+        ))
+        report = defense.apply(model, defender_data)
+        after = evaluate_backdoor_metrics(model, tiny_test, tiny_attack)
+        assert after.asr < before.asr * 0.5
+        assert after.acc > before.acc - 0.15
+        assert report.details["num_pruned"] >= 0
+
+    def test_report_structure(self, backdoored_tiny_model, defender_data):
+        model = copy.deepcopy(backdoored_tiny_model)
+        report = GradPruneDefense(GradPruneConfig(
+            prune_patience=2, tune_max_epochs=3,
+        )).apply(model, defender_data)
+        assert report.name == "grad_prune"
+        for key in ("pruned_filters", "num_pruned", "sparsity", "prune_stop_reason",
+                    "tune_stop_reason"):
+            assert key in report.details
+
+    def test_skip_finetune_ablation(self, backdoored_tiny_model, defender_data):
+        model = copy.deepcopy(backdoored_tiny_model)
+        report = GradPruneDefense(GradPruneConfig(
+            prune_patience=2, skip_finetune=True,
+        )).apply(model, defender_data)
+        assert report.details["tune_stop_reason"] == "skipped"
+        assert report.details["tune_history"] is None
+
+    def test_requires_attack_handle(self, backdoored_tiny_model, defender_data):
+        data = DefenderData(
+            clean_train=defender_data.clean_train,
+            clean_val=defender_data.clean_val,
+            attack=None,
+        )
+        with pytest.raises(ValueError, match="attack"):
+            GradPruneDefense().apply(copy.deepcopy(backdoored_tiny_model), data)
+
+    def test_deterministic_given_seeds(self, backdoored_tiny_model, defender_data, tiny_test, tiny_attack):
+        config = GradPruneConfig(prune_patience=2, tune_max_epochs=3, seed=5)
+        m1 = copy.deepcopy(backdoored_tiny_model)
+        m2 = copy.deepcopy(backdoored_tiny_model)
+        GradPruneDefense(config).apply(m1, defender_data)
+        GradPruneDefense(config).apply(m2, defender_data)
+        a = evaluate_backdoor_metrics(m1, tiny_test, tiny_attack)
+        b = evaluate_backdoor_metrics(m2, tiny_test, tiny_attack)
+        assert a.acc == pytest.approx(b.acc)
+        assert a.asr == pytest.approx(b.asr)

@@ -1,0 +1,134 @@
+"""Iterative pruning loop tests (paper §IV-B stopping rules)."""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.core import GradientPruner
+from repro.data.splits import defender_split
+from repro.models import PruningMask
+from repro.training import evaluate_accuracy
+
+
+@pytest.fixture()
+def pruning_setup(backdoored_tiny_model, tiny_reservoir, tiny_attack):
+    clean_train, clean_val = defender_split(
+        tiny_reservoir, spc=20, rng=np.random.default_rng(0)
+    )
+    model = copy.deepcopy(backdoored_tiny_model)
+    return {
+        "model": model,
+        "backdoor_train": tiny_attack.triggered_with_true_labels(clean_train),
+        "clean_val": clean_val,
+        "backdoor_val": tiny_attack.triggered_with_true_labels(clean_val),
+    }
+
+
+class TestStoppingRules:
+    def test_patience_stop(self, pruning_setup):
+        pruner = GradientPruner(alpha=0.0, patience=2, max_rounds=50)
+        history = pruner.prune(
+            pruning_setup["model"],
+            pruning_setup["backdoor_train"],
+            pruning_setup["clean_val"],
+            pruning_setup["backdoor_val"],
+        )
+        assert "did not improve" in history.stop_reason or "no prunable" in history.stop_reason
+
+    def test_max_rounds_cap(self, pruning_setup):
+        pruner = GradientPruner(alpha=0.0, patience=100, max_rounds=3)
+        history = pruner.prune(
+            pruning_setup["model"],
+            pruning_setup["backdoor_train"],
+            pruning_setup["clean_val"],
+            pruning_setup["backdoor_val"],
+        )
+        assert history.num_pruned <= 3
+        assert "max_rounds" in history.stop_reason
+
+    def test_accuracy_floor_rolls_back(self, pruning_setup):
+        # A validation set of pure noise keeps val accuracy near chance, so
+        # the unreachable floor alpha=1.0 triggers at the first round and the
+        # offending prune must be rolled back, leaving weights untouched.
+        from repro.data import ImageDataset
+
+        noise_rng = np.random.default_rng(0)
+        noise_val = ImageDataset(
+            noise_rng.uniform(0, 1, (12, 3, 8, 8)).astype(np.float32),
+            noise_rng.integers(0, 3, 12),
+        )
+        pruner = GradientPruner(alpha=1.0, patience=10, max_rounds=10)
+        model = pruning_setup["model"]
+        before = {k: v.copy() for k, v in model.state_dict().items()}
+        history = pruner.prune(
+            model,
+            pruning_setup["backdoor_train"],
+            noise_val,
+            pruning_setup["backdoor_val"],
+        )
+        assert history.rounds[0].rolled_back
+        assert history.num_pruned == 0
+        after = model.state_dict()
+        for key in before:
+            assert np.array_equal(before[key], after[key])
+
+    def test_alpha_derived_from_max_acc_drop(self, pruning_setup):
+        pruner = GradientPruner(alpha=None, max_acc_drop=0.15, patience=3, max_rounds=30)
+        history = pruner.prune(
+            pruning_setup["model"],
+            pruning_setup["backdoor_train"],
+            pruning_setup["clean_val"],
+            pruning_setup["backdoor_val"],
+        )
+        final_acc = evaluate_accuracy(pruning_setup["model"], pruning_setup["clean_val"])
+        assert final_acc >= history.initial_val_accuracy - 0.15 - 1e-9
+
+    def test_invalid_params_raise(self):
+        with pytest.raises(ValueError):
+            GradientPruner(alpha=2.0)
+        with pytest.raises(ValueError):
+            GradientPruner(patience=0)
+        with pytest.raises(ValueError):
+            GradientPruner(max_acc_drop=-0.1)
+
+
+class TestPruningEffect:
+    def test_prunes_into_mask(self, pruning_setup):
+        mask = PruningMask(pruning_setup["model"])
+        pruner = GradientPruner(alpha=0.0, patience=3, max_rounds=5)
+        history = pruner.prune(
+            pruning_setup["model"],
+            pruning_setup["backdoor_train"],
+            pruning_setup["clean_val"],
+            pruning_setup["backdoor_val"],
+            mask=mask,
+        )
+        assert len(mask) == history.num_pruned
+        assert history.num_pruned >= 1
+
+    def test_rounds_telemetry_complete(self, pruning_setup):
+        pruner = GradientPruner(alpha=0.0, patience=2, max_rounds=10)
+        history = pruner.prune(
+            pruning_setup["model"],
+            pruning_setup["backdoor_train"],
+            pruning_setup["clean_val"],
+            pruning_setup["backdoor_val"],
+        )
+        for record in history.rounds:
+            assert record.score >= 0
+            assert np.isfinite(record.val_unlearning_loss)
+            assert 0 <= record.val_accuracy <= 1
+
+    def test_no_filter_pruned_twice(self, pruning_setup):
+        mask = PruningMask(pruning_setup["model"])
+        pruner = GradientPruner(alpha=0.0, patience=5, max_rounds=15)
+        history = pruner.prune(
+            pruning_setup["model"],
+            pruning_setup["backdoor_train"],
+            pruning_setup["clean_val"],
+            pruning_setup["backdoor_val"],
+            mask=mask,
+        )
+        effective = [str(r.pruned) for r in history.rounds if not r.rolled_back]
+        assert len(effective) == len(set(effective))

@@ -1,0 +1,99 @@
+"""Fine-tuning stage tests (paper §IV-C)."""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.core import FineTuner
+from repro.data.splits import defender_split
+from repro.models import FilterRef, PruningMask
+from repro.training import evaluate_accuracy
+
+
+@pytest.fixture()
+def tune_setup(backdoored_tiny_model, tiny_reservoir, tiny_attack):
+    clean_train, clean_val = defender_split(
+        tiny_reservoir, spc=20, rng=np.random.default_rng(1)
+    )
+    return {
+        "model": copy.deepcopy(backdoored_tiny_model),
+        "clean_train": clean_train,
+        "clean_val": clean_val,
+        "backdoor_train": tiny_attack.triggered_with_true_labels(clean_train),
+        "backdoor_val": tiny_attack.triggered_with_true_labels(clean_val),
+    }
+
+
+class TestFineTuner:
+    def test_improves_or_keeps_val_loss(self, tune_setup):
+        tuner = FineTuner(max_epochs=6, patience=3, lr=0.02, seed=0)
+        history = tuner.tune(
+            tune_setup["model"], tune_setup["clean_train"], tune_setup["clean_val"],
+            tune_setup["backdoor_train"], tune_setup["backdoor_val"],
+        )
+        assert len(history.train_losses) >= 1
+        assert len(history.val_losses) == len(history.train_losses)
+        # Best-state restoration: the final model can't be worse than start.
+
+    def test_early_stops_on_patience(self, tune_setup):
+        tuner = FineTuner(max_epochs=50, patience=1, lr=1e-6, seed=0)
+        history = tuner.tune(
+            tune_setup["model"], tune_setup["clean_train"], tune_setup["clean_val"],
+        )
+        assert len(history.train_losses) < 50
+        assert "did not improve" in history.stop_reason
+
+    def test_max_epochs_respected(self, tune_setup):
+        tuner = FineTuner(max_epochs=2, patience=10, seed=0)
+        history = tuner.tune(
+            tune_setup["model"], tune_setup["clean_train"], tune_setup["clean_val"],
+        )
+        assert len(history.train_losses) <= 2
+
+    def test_mask_preserved_through_tuning(self, tune_setup):
+        model = tune_setup["model"]
+        mask = PruningMask(model)
+        conv_name = next(name for name, _ in __import__(
+            "repro.models", fromlist=["iter_conv_layers"]
+        ).iter_conv_layers(model))
+        ref = FilterRef(conv_name, 0)
+        mask.prune(ref)
+        tuner = FineTuner(max_epochs=3, patience=5, lr=0.05, seed=0)
+        tuner.tune(
+            model, tune_setup["clean_train"], tune_setup["clean_val"], mask=mask,
+        )
+        convs = dict(__import__("repro.models", fromlist=["iter_conv_layers"]).iter_conv_layers(model))
+        assert np.all(convs[conv_name].weight.data[0] == 0)
+
+    def test_restores_best_state(self, tune_setup):
+        # With a huge LR, late epochs diverge; restoration must return the
+        # best-validation-loss weights, not the last ones.
+        tuner = FineTuner(max_epochs=6, patience=6, lr=2.0, seed=0)
+        model = tune_setup["model"]
+        history = tuner.tune(
+            model, tune_setup["clean_train"], tune_setup["clean_val"],
+        )
+        from repro.core.tuner import _dataset_loss
+
+        final_loss = _dataset_loss(model, tune_setup["clean_val"], 64)
+        assert final_loss <= min(history.val_losses) + 0.5
+
+    def test_invalid_params_raise(self):
+        with pytest.raises(ValueError):
+            FineTuner(patience=0)
+        with pytest.raises(ValueError):
+            FineTuner(max_epochs=0)
+
+    def test_clean_only_mode(self, tune_setup):
+        tuner = FineTuner(max_epochs=3, patience=3, seed=0)
+        history = tuner.tune(
+            tune_setup["model"], tune_setup["clean_train"], tune_setup["clean_val"],
+            backdoor_train=None, backdoor_val=None,
+        )
+        assert len(history.train_losses) >= 1
+
+    def test_model_left_in_eval_mode(self, tune_setup):
+        tuner = FineTuner(max_epochs=2, patience=3, seed=0)
+        tuner.tune(tune_setup["model"], tune_setup["clean_train"], tune_setup["clean_val"])
+        assert not tune_setup["model"].training

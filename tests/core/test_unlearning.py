@@ -1,0 +1,77 @@
+"""Unlearning-loss tests (paper Eq. 2)."""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.core import unlearning_loss_backward, unlearning_loss_value
+from repro.data import ImageDataset
+
+
+class TestLossValue:
+    def test_high_on_backdoored_model(self, backdoored_tiny_model, tiny_test, tiny_attack):
+        # The backdoored model classifies triggered inputs as the target, so
+        # CE against true labels must be much larger than the clean CE.
+        victims = tiny_test.subset(np.flatnonzero(tiny_test.labels != 0))
+        backdoor_set = tiny_attack.triggered_with_true_labels(victims)
+        loss_bd = unlearning_loss_value(backdoored_tiny_model, backdoor_set)
+        loss_clean = unlearning_loss_value(backdoored_tiny_model, victims)
+        assert loss_bd > 2.0 * loss_clean
+
+    def test_sum_reduction_scales_with_size(self, backdoored_tiny_model, tiny_test, tiny_attack):
+        backdoor_set = tiny_attack.triggered_with_true_labels(tiny_test)
+        full = unlearning_loss_value(backdoored_tiny_model, backdoor_set)
+        half = unlearning_loss_value(
+            backdoored_tiny_model, backdoor_set.subset(np.arange(len(backdoor_set) // 2))
+        )
+        assert full > half
+
+    def test_batching_invariant(self, backdoored_tiny_model, tiny_test, tiny_attack):
+        backdoor_set = tiny_attack.triggered_with_true_labels(tiny_test)
+        a = unlearning_loss_value(backdoored_tiny_model, backdoor_set, batch_size=16)
+        b = unlearning_loss_value(backdoored_tiny_model, backdoor_set, batch_size=128)
+        assert a == pytest.approx(b, rel=1e-4)
+
+    def test_empty_set_raises(self, backdoored_tiny_model, tiny_test):
+        empty = ImageDataset(
+            np.zeros((0, *tiny_test.image_shape), dtype=np.float32), np.zeros(0)
+        )
+        with pytest.raises(ValueError):
+            unlearning_loss_value(backdoored_tiny_model, empty)
+
+
+class TestLossBackward:
+    def test_populates_conv_grads(self, backdoored_tiny_model, tiny_test, tiny_attack):
+        model = copy.deepcopy(backdoored_tiny_model)
+        backdoor_set = tiny_attack.triggered_with_true_labels(tiny_test)
+        loss = unlearning_loss_backward(model, backdoor_set)
+        assert loss > 0
+        grads = [p.grad for p in model.parameters()]
+        assert all(g is not None for g in grads)
+        assert any(np.abs(g).sum() > 0 for g in grads)
+
+    def test_does_not_change_weights(self, backdoored_tiny_model, tiny_test, tiny_attack):
+        model = copy.deepcopy(backdoored_tiny_model)
+        before = {k: v.copy() for k, v in model.state_dict().items()}
+        unlearning_loss_backward(model, tiny_attack.triggered_with_true_labels(tiny_test))
+        after = model.state_dict()
+        for key in before:
+            assert np.array_equal(before[key], after[key])
+
+    def test_value_matches_no_grad_path(self, backdoored_tiny_model, tiny_test, tiny_attack):
+        model = copy.deepcopy(backdoored_tiny_model)
+        backdoor_set = tiny_attack.triggered_with_true_labels(tiny_test)
+        with_grad = unlearning_loss_backward(model, backdoor_set)
+        without = unlearning_loss_value(model, backdoor_set)
+        assert with_grad == pytest.approx(without, rel=1e-4)
+
+    def test_grad_accumulation_over_batches_exact(self, backdoored_tiny_model, tiny_test, tiny_attack):
+        backdoor_set = tiny_attack.triggered_with_true_labels(tiny_test)
+        m1 = copy.deepcopy(backdoored_tiny_model)
+        m2 = copy.deepcopy(backdoored_tiny_model)
+        unlearning_loss_backward(m1, backdoor_set, batch_size=8)
+        unlearning_loss_backward(m2, backdoor_set, batch_size=1024)
+        g1 = next(iter(m1.parameters())).grad
+        g2 = next(iter(m2.parameters())).grad
+        assert np.allclose(g1, g2, atol=1e-3)

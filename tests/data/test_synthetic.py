@@ -1,0 +1,74 @@
+"""Synthetic dataset generator tests: determinism, learnability proxies."""
+
+import numpy as np
+import pytest
+
+from repro.data import make_synth_cifar, make_synth_gtsrb
+
+
+class TestSynthCifar:
+    def test_shapes_and_range(self):
+        train, test = make_synth_cifar(n_train=50, n_test=20, seed=0)
+        assert train.images.shape == (50, 3, 32, 32)
+        assert test.images.shape == (20, 3, 32, 32)
+        assert train.images.min() >= 0.0
+        assert train.images.max() <= 1.0
+
+    def test_deterministic_by_seed(self):
+        a, _ = make_synth_cifar(n_train=10, n_test=2, seed=5)
+        b, _ = make_synth_cifar(n_train=10, n_test=2, seed=5)
+        assert np.array_equal(a.images, b.images)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_seed_changes_distribution(self):
+        a, _ = make_synth_cifar(n_train=10, n_test=2, seed=1)
+        b, _ = make_synth_cifar(n_train=10, n_test=2, seed=2)
+        assert not np.array_equal(a.images, b.images)
+
+    def test_classes_balanced(self):
+        train, _ = make_synth_cifar(n_train=100, n_test=10, num_classes=10)
+        assert train.class_counts().tolist() == [10] * 10
+
+    def test_train_test_share_distribution(self):
+        # Same class prototypes: per-class mean images should correlate strongly.
+        train, test = make_synth_cifar(n_train=400, n_test=200, seed=3)
+        for cls in range(3):
+            mu_train = train.images[train.labels == cls].mean(axis=0).ravel()
+            mu_test = test.images[test.labels == cls].mean(axis=0).ravel()
+            corr = np.corrcoef(mu_train, mu_test)[0, 1]
+            assert corr > 0.8
+
+    def test_classes_are_distinct(self):
+        train, _ = make_synth_cifar(n_train=300, n_test=10, seed=0)
+        mu0 = train.images[train.labels == 0].mean(axis=0).ravel()
+        mu1 = train.images[train.labels == 1].mean(axis=0).ravel()
+        assert np.abs(mu0 - mu1).mean() > 0.02
+
+    def test_intra_class_variation_exists(self):
+        train, _ = make_synth_cifar(n_train=200, n_test=10, seed=0)
+        class0 = train.images[train.labels == 0]
+        assert class0.std(axis=0).mean() > 0.01
+
+
+class TestSynthGtsrb:
+    def test_shapes_and_classes(self):
+        train, test = make_synth_gtsrb(n_train=60, n_test=24, num_classes=12)
+        assert train.num_classes == 12
+        assert train.images.shape == (60, 3, 32, 32)
+
+    def test_full_43_classes_supported(self):
+        train, _ = make_synth_gtsrb(n_train=86, n_test=43, num_classes=43)
+        assert train.num_classes == 43
+
+    def test_deterministic(self):
+        a, _ = make_synth_gtsrb(n_train=10, n_test=2, seed=9)
+        b, _ = make_synth_gtsrb(n_train=10, n_test=2, seed=9)
+        assert np.array_equal(a.images, b.images)
+
+    def test_glyph_shapes_differ_between_classes(self):
+        train, _ = make_synth_gtsrb(n_train=240, n_test=10, num_classes=8, seed=0)
+        means = [train.images[train.labels == c].mean(axis=0) for c in range(8)]
+        # All pairwise class means must be distinguishable.
+        for i in range(8):
+            for j in range(i + 1, 8):
+                assert np.abs(means[i] - means[j]).mean() > 0.01

@@ -1,0 +1,75 @@
+"""Batch transform tests."""
+
+import numpy as np
+import pytest
+
+from repro.data import Compose, Cutout, Normalize, RandomCrop, RandomHorizontalFlip
+
+
+def batch(n=4, seed=0):
+    return np.random.default_rng(seed).uniform(0, 1, (n, 3, 8, 8)).astype(np.float32)
+
+
+RNG = np.random.default_rng(42)
+
+
+class TestRandomCrop:
+    def test_preserves_shape(self):
+        out = RandomCrop(2)(batch(), RNG)
+        assert out.shape == (4, 3, 8, 8)
+
+    def test_content_is_shifted_window(self):
+        x = batch()
+        out = RandomCrop(1)(x, np.random.default_rng(0))
+        # Every output must still draw values from the padded input range.
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+
+class TestFlip:
+    def test_p_one_always_flips(self):
+        x = batch()
+        out = RandomHorizontalFlip(p=1.0)(x, RNG)
+        assert np.array_equal(out, x[:, :, :, ::-1])
+
+    def test_p_zero_never_flips(self):
+        x = batch()
+        out = RandomHorizontalFlip(p=0.0)(x, RNG)
+        assert np.array_equal(out, x)
+
+    def test_does_not_mutate_input(self):
+        x = batch()
+        before = x.copy()
+        RandomHorizontalFlip(p=1.0)(x, RNG)
+        assert np.array_equal(x, before)
+
+
+class TestNormalize:
+    def test_standardizes(self):
+        x = batch()
+        mean = x.mean(axis=(0, 2, 3))
+        std = x.std(axis=(0, 2, 3))
+        out = Normalize(mean, std)(x, RNG)
+        assert abs(out.mean()) < 1e-5
+        assert out.std() == pytest.approx(1.0, abs=0.01)
+
+
+class TestCutout:
+    def test_zero_patch_present(self):
+        x = np.ones((2, 3, 8, 8), dtype=np.float32)
+        out = Cutout(4)(x, np.random.default_rng(0))
+        assert (out == 0).sum() == 2 * 3 * 16
+
+    def test_input_untouched(self):
+        x = np.ones((1, 3, 8, 8), dtype=np.float32)
+        Cutout(2)(x, RNG)
+        assert np.all(x == 1.0)
+
+
+class TestCompose:
+    def test_applies_in_order(self):
+        compose = Compose([
+            lambda b, r: b + 1.0,
+            lambda b, r: b * 2.0,
+        ])
+        out = compose(np.zeros((1, 1, 2, 2), dtype=np.float32), RNG)
+        assert np.all(out == 2.0)

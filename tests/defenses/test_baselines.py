@@ -1,0 +1,161 @@
+"""Baseline-defense tests: each runs end-to-end and behaves sanely."""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.data.splits import defender_split
+from repro.defenses import (
+    ANPDefense,
+    CLPDefense,
+    DEFENSE_REGISTRY,
+    FinePruningDefense,
+    FineTuningDefense,
+    FTSAMDefense,
+    NADDefense,
+    build_defense,
+    channel_lipschitz_bounds,
+    mean_channel_activations,
+)
+from repro.defenses.base import DefenderData
+from repro.eval import evaluate_backdoor_metrics
+
+
+@pytest.fixture()
+def defender_data(tiny_reservoir, tiny_attack):
+    clean_train, clean_val = defender_split(
+        tiny_reservoir, spc=20, rng=np.random.default_rng(4)
+    )
+    return DefenderData(clean_train=clean_train, clean_val=clean_val, attack=tiny_attack)
+
+
+class TestRegistry:
+    def test_all_expected_defenses_registered(self):
+        expected = {"ft", "fp", "nad", "nc", "clp", "bnp", "ft_sam", "anp", "grad_prune"}
+        assert set(DEFENSE_REGISTRY) == expected
+
+    def test_build_each(self):
+        for name in DEFENSE_REGISTRY:
+            assert build_defense(name) is not None
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            build_defense("neural_cleanse")
+
+    def test_grad_prune_kwargs_forwarded(self):
+        defense = build_defense("grad_prune", prune_patience=3)
+        assert defense.config.prune_patience == 3
+
+
+class TestFineTuning:
+    def test_keeps_model_usable(self, backdoored_tiny_model, defender_data, tiny_test, tiny_attack):
+        model = copy.deepcopy(backdoored_tiny_model)
+        report = FineTuningDefense(epochs=6, lr=0.02, seed=0).apply(model, defender_data)
+        metrics = evaluate_backdoor_metrics(model, tiny_test, tiny_attack)
+        assert metrics.acc > 0.5
+        assert report.details["epochs_run"] >= 1
+
+
+class TestFinePruning:
+    def test_activations_collector(self, backdoored_tiny_model, tiny_test):
+        acts = mean_channel_activations(backdoored_tiny_model, tiny_test)
+        assert len(acts) >= 2
+        for values in acts.values():
+            assert (values >= 0).all()
+
+    def test_prunes_last_layer_and_tunes(self, backdoored_tiny_model, defender_data, tiny_test, tiny_attack):
+        model = copy.deepcopy(backdoored_tiny_model)
+        report = FinePruningDefense(epochs=4, seed=0).apply(model, defender_data)
+        metrics = evaluate_backdoor_metrics(model, tiny_test, tiny_attack)
+        assert metrics.acc > 0.4
+        assert report.details["num_pruned"] >= 0
+        assert "target_layer" in report.details
+
+    def test_accuracy_floor_limits_pruning(self, backdoored_tiny_model, defender_data):
+        model = copy.deepcopy(backdoored_tiny_model)
+        report = FinePruningDefense(max_acc_drop=0.0, epochs=1, seed=0).apply(model, defender_data)
+        # With no accuracy budget, pruning stops as soon as val acc dips.
+        assert report.details["num_pruned"] <= 16
+
+
+class TestNAD:
+    def test_runs_and_reports_layers(self, backdoored_tiny_model, defender_data, tiny_test, tiny_attack):
+        model = copy.deepcopy(backdoored_tiny_model)
+        report = NADDefense(
+            beta=100.0, teacher_epochs=2, epochs=2, num_attention_layers=2, seed=0
+        ).apply(model, defender_data)
+        assert len(report.details["attention_layers"]) == 2
+        metrics = evaluate_backdoor_metrics(model, tiny_test, tiny_attack)
+        assert metrics.acc > 0.3
+
+    def test_hooks_removed_after_apply(self, backdoored_tiny_model, defender_data):
+        model = copy.deepcopy(backdoored_tiny_model)
+        NADDefense(teacher_epochs=1, epochs=1, seed=0).apply(model, defender_data)
+        for module in model.modules():
+            assert not module._forward_hooks
+
+
+class TestCLP:
+    def test_bounds_per_layer(self, backdoored_tiny_model):
+        bounds = channel_lipschitz_bounds(backdoored_tiny_model)
+        assert len(bounds) >= 2
+        for values in bounds.values():
+            assert (values >= 0).all()
+
+    def test_data_free_determinism(self, backdoored_tiny_model, defender_data, tiny_test, tiny_attack):
+        m1 = copy.deepcopy(backdoored_tiny_model)
+        m2 = copy.deepcopy(backdoored_tiny_model)
+        CLPDefense(u=3.0).apply(m1, defender_data)
+        CLPDefense(u=3.0).apply(m2, defender_data)
+        a = evaluate_backdoor_metrics(m1, tiny_test, tiny_attack)
+        b = evaluate_backdoor_metrics(m2, tiny_test, tiny_attack)
+        assert a.acc == b.acc and a.asr == b.asr
+
+    def test_smaller_u_prunes_more(self, backdoored_tiny_model, defender_data):
+        strict = copy.deepcopy(backdoored_tiny_model)
+        lax = copy.deepcopy(backdoored_tiny_model)
+        n_strict = CLPDefense(u=0.5).apply(strict, defender_data).details["num_pruned"]
+        n_lax = CLPDefense(u=5.0).apply(lax, defender_data).details["num_pruned"]
+        assert n_strict >= n_lax
+
+    def test_invalid_u_raises(self):
+        with pytest.raises(ValueError):
+            CLPDefense(u=0.0)
+
+
+class TestFTSAM:
+    def test_runs_and_keeps_accuracy(self, backdoored_tiny_model, defender_data, tiny_test, tiny_attack):
+        model = copy.deepcopy(backdoored_tiny_model)
+        report = FTSAMDefense(rho=0.05, epochs=5, lr=0.02, seed=0).apply(model, defender_data)
+        metrics = evaluate_backdoor_metrics(model, tiny_test, tiny_attack)
+        assert metrics.acc > 0.5
+        assert report.details["epochs_run"] >= 1
+
+    def test_reduces_asr_more_than_nothing(self, backdoored_tiny_model, defender_data, tiny_test, tiny_attack):
+        model = copy.deepcopy(backdoored_tiny_model)
+        before = evaluate_backdoor_metrics(model, tiny_test, tiny_attack)
+        FTSAMDefense(rho=0.1, epochs=8, lr=0.05, seed=0).apply(model, defender_data)
+        after = evaluate_backdoor_metrics(model, tiny_test, tiny_attack)
+        assert after.asr <= before.asr
+
+
+class TestANP:
+    def test_masks_learned_and_convs_restored(self, backdoored_tiny_model, defender_data):
+        model = copy.deepcopy(backdoored_tiny_model)
+        report = ANPDefense(steps=20, seed=0).apply(model, defender_data)
+        # Wrappers must be swapped back out.
+        from repro.defenses import MaskedConv2d
+
+        assert not any(isinstance(m, MaskedConv2d) for m in model.modules())
+        assert "mask_summary" in report.details
+
+    def test_model_still_classifies(self, backdoored_tiny_model, defender_data, tiny_test, tiny_attack):
+        model = copy.deepcopy(backdoored_tiny_model)
+        ANPDefense(steps=20, threshold=0.1, seed=0).apply(model, defender_data)
+        metrics = evaluate_backdoor_metrics(model, tiny_test, tiny_attack)
+        assert metrics.acc > 0.3
+
+    def test_invalid_alpha_raises(self):
+        with pytest.raises(ValueError):
+            ANPDefense(alpha=2.0)

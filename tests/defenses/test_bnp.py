@@ -1,0 +1,75 @@
+"""BNP (batch-norm statistic pruning) tests."""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.data.splits import defender_split
+from repro.defenses import BNPDefense, bn_statistic_divergence
+from repro.defenses.base import DefenderData
+from repro.eval import evaluate_backdoor_metrics
+
+
+@pytest.fixture()
+def defender_data(tiny_reservoir, tiny_attack):
+    clean_train, clean_val = defender_split(
+        tiny_reservoir, spc=20, rng=np.random.default_rng(8)
+    )
+    return DefenderData(clean_train=clean_train, clean_val=clean_val, attack=tiny_attack)
+
+
+class TestDivergence:
+    def test_divergence_per_bn_layer(self, backdoored_tiny_model, tiny_test):
+        div = bn_statistic_divergence(backdoored_tiny_model, tiny_test)
+        assert len(div) == 2  # TinyConvNet has two BN layers
+        for values in div.values():
+            assert (values >= 0).all()
+            assert np.isfinite(values).all()
+
+    def test_divergence_zero_when_stats_match(self, tiny_test):
+        # A freshly built model evaluated on the data whose statistics were
+        # written into its running buffers has near-zero divergence.
+        from tests.conftest import TinyConvNet
+        from repro.nn import Tensor
+
+        model = TinyConvNet(seed=0)
+        model.train()
+        for _ in range(60):  # converge the EMA onto the clean distribution
+            model(Tensor(tiny_test.images[:64]))
+        model.eval()
+        div = bn_statistic_divergence(model, tiny_test.subset(np.arange(64)))
+        for values in div.values():
+            assert values.max() < 0.5
+
+    def test_model_without_bn_returns_empty(self, tiny_test):
+        from repro.nn import Conv2d, Sequential
+
+        model = Sequential(Conv2d(3, 4, 3, padding=1))
+        assert bn_statistic_divergence(model, tiny_test) == {}
+
+
+class TestBNPDefense:
+    def test_runs_and_reports(self, backdoored_tiny_model, defender_data, tiny_test, tiny_attack):
+        model = copy.deepcopy(backdoored_tiny_model)
+        report = BNPDefense(u=2.0).apply(model, defender_data)
+        assert report.name == "bnp"
+        assert report.details["num_pruned"] >= 0
+        metrics = evaluate_backdoor_metrics(model, tiny_test, tiny_attack)
+        assert 0 <= metrics.acc <= 1
+
+    def test_smaller_u_prunes_more(self, backdoored_tiny_model, defender_data):
+        strict = copy.deepcopy(backdoored_tiny_model)
+        lax = copy.deepcopy(backdoored_tiny_model)
+        n_strict = BNPDefense(u=0.5).apply(strict, defender_data).details["num_pruned"]
+        n_lax = BNPDefense(u=10.0).apply(lax, defender_data).details["num_pruned"]
+        assert n_strict >= n_lax
+
+    def test_invalid_u_raises(self):
+        with pytest.raises(ValueError):
+            BNPDefense(u=-1.0)
+
+    def test_registered_in_registry(self):
+        from repro.defenses import build_defense
+
+        assert build_defense("bnp", u=2.5).u == 2.5

@@ -1,0 +1,54 @@
+"""Neural Cleanse defense tests."""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.data.splits import defender_split
+from repro.defenses import NeuralCleanseDefense, build_defense
+from repro.defenses.base import DefenderData
+from repro.eval import evaluate_backdoor_metrics
+
+
+@pytest.fixture()
+def defender_data(tiny_reservoir, tiny_attack):
+    clean_train, clean_val = defender_split(
+        tiny_reservoir, spc=20, rng=np.random.default_rng(6)
+    )
+    # NC does not use the attack handle (it inverts its own trigger).
+    return DefenderData(clean_train=clean_train, clean_val=clean_val, attack=None)
+
+
+class TestNeuralCleanse:
+    def test_runs_end_to_end(self, backdoored_tiny_model, defender_data, tiny_test, tiny_attack):
+        model = copy.deepcopy(backdoored_tiny_model)
+        defense = NeuralCleanseDefense(
+            num_classes=3, inversion_steps=50, epochs=5, seed=0
+        )
+        report = defense.apply(model, defender_data)
+        assert report.name == "nc"
+        assert 0 <= report.details["detected_target"] < 3
+        assert len(report.details["mask_l1"]) == 3
+        metrics = evaluate_backdoor_metrics(model, tiny_test, tiny_attack)
+        assert metrics.acc > 0.4  # fine-tune must not destroy the main task
+
+    def test_does_not_need_attack_handle(self, backdoored_tiny_model, defender_data):
+        model = copy.deepcopy(backdoored_tiny_model)
+        report = NeuralCleanseDefense(num_classes=3, inversion_steps=30, epochs=2).apply(
+            model, defender_data
+        )
+        assert "detected_target" in report.details
+
+    def test_num_classes_inferred(self, backdoored_tiny_model, defender_data):
+        model = copy.deepcopy(backdoored_tiny_model)
+        report = NeuralCleanseDefense(inversion_steps=30, epochs=2).apply(model, defender_data)
+        assert len(report.details["mask_l1"]) == 3
+
+    def test_invalid_trigger_fraction(self):
+        with pytest.raises(ValueError):
+            NeuralCleanseDefense(trigger_fraction=0.0)
+
+    def test_registered(self):
+        defense = build_defense("nc", inversion_steps=10)
+        assert defense.inversion_steps == 10

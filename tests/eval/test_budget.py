@@ -1,0 +1,64 @@
+"""Defender-budget protocol tests."""
+
+import numpy as np
+import pytest
+
+from repro.eval import DefenderBudget, budget_trials
+from tests.conftest import make_tiny_dataset
+
+
+class TestBudgetDraw:
+    def test_draw_respects_spc(self, tiny_attack):
+        reservoir = make_tiny_dataset(120, seed=0)
+        budget = DefenderBudget(spc=10, trial=0, seed=42)
+        data = budget.draw(reservoir, attack=tiny_attack)
+        total = len(data.clean_train) + len(data.clean_val)
+        assert total == 10 * reservoir.num_classes
+        assert data.attack is tiny_attack
+
+    def test_spc2_split(self):
+        reservoir = make_tiny_dataset(60, seed=0)
+        data = DefenderBudget(spc=2, trial=0, seed=1).draw(reservoir)
+        assert data.clean_train.class_counts().tolist() == [1] * 3
+        assert data.clean_val.class_counts().tolist() == [1] * 3
+
+    def test_same_seed_same_draw(self):
+        reservoir = make_tiny_dataset(90, seed=0)
+        a = DefenderBudget(spc=4, trial=0, seed=7).draw(reservoir)
+        b = DefenderBudget(spc=4, trial=0, seed=7).draw(reservoir)
+        assert np.array_equal(a.clean_train.images, b.clean_train.images)
+
+    def test_backdoor_synthesis(self, tiny_attack):
+        reservoir = make_tiny_dataset(60, seed=0)
+        data = DefenderBudget(spc=4, trial=0, seed=3).draw(reservoir, attack=tiny_attack)
+        backdoor = data.backdoor_train()
+        assert np.array_equal(backdoor.labels, data.clean_train.labels)
+        assert not np.array_equal(backdoor.images, data.clean_train.images)
+
+    def test_backdoor_without_attack_raises(self):
+        reservoir = make_tiny_dataset(60, seed=0)
+        data = DefenderBudget(spc=4, trial=0, seed=3).draw(reservoir)
+        with pytest.raises(ValueError):
+            data.backdoor_train()
+
+
+class TestBudgetTrials:
+    def test_yields_requested_count(self):
+        trials = list(budget_trials(spc=10, num_trials=5, root_seed=0))
+        assert len(trials) == 5
+        assert [t.trial for t in trials] == [0, 1, 2, 3, 4]
+
+    def test_trials_have_distinct_seeds(self):
+        trials = list(budget_trials(spc=10, num_trials=5, root_seed=0))
+        seeds = {t.seed for t in trials}
+        assert len(seeds) == 5
+
+    def test_reproducible_across_calls(self):
+        a = [t.seed for t in budget_trials(2, 3, root_seed=9)]
+        b = [t.seed for t in budget_trials(2, 3, root_seed=9)]
+        assert a == b
+
+    def test_different_spc_different_seeds(self):
+        a = [t.seed for t in budget_trials(2, 3, root_seed=0)]
+        b = [t.seed for t in budget_trials(10, 3, root_seed=0)]
+        assert a != b

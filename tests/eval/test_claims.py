@@ -1,0 +1,81 @@
+"""Claim-verification tests with constructed aggregate grids."""
+
+import pytest
+
+from repro.eval import AggregateResult, BackdoorMetrics, check_table_claims, format_verdicts
+
+
+def agg(defense, spc, acc, asr, ra):
+    return AggregateResult(defense, spc, acc, 0.0, asr, 0.0, ra, 0.0, 1)
+
+
+def good_grid():
+    """A grid matching the paper's narrative."""
+    return [
+        agg("grad_prune", 2, 0.85, 0.30, 0.55),
+        agg("grad_prune", 10, 0.88, 0.05, 0.80),
+        agg("clp", 2, 0.90, 0.95, 0.04),
+        agg("clp", 10, 0.90, 0.95, 0.04),
+        agg("ft", 2, 0.60, 0.80, 0.15),
+        agg("ft", 10, 0.85, 0.10, 0.75),
+    ]
+
+
+BASELINE = BackdoorMetrics(acc=0.92, asr=0.99, ra=0.01)
+
+
+class TestClaimsPass:
+    def test_good_grid_passes_all(self):
+        verdicts = check_table_claims(good_grid(), BASELINE)
+        assert all(v.passed for v in verdicts), format_verdicts(verdicts)
+
+    def test_verdict_count_matches_claims(self):
+        from repro.eval import TABLE_CLAIMS
+
+        assert len(check_table_claims(good_grid(), BASELINE)) == len(TABLE_CLAIMS)
+
+
+class TestClaimsFail:
+    def test_weak_attack_fails_c1(self):
+        weak_baseline = BackdoorMetrics(acc=0.92, asr=0.30, ra=0.60)
+        verdicts = check_table_claims(good_grid(), weak_baseline)
+        assert not next(v for v in verdicts if v.claim_id == "C1").passed
+
+    def test_ineffective_defense_fails_c2(self):
+        grid = [agg("grad_prune", 10, 0.88, 0.90, 0.05)]
+        verdicts = check_table_claims(grid, BASELINE)
+        assert not next(v for v in verdicts if v.claim_id == "C2").passed
+
+    def test_metric_identity_violation_fails_c3(self):
+        grid = good_grid() + [agg("nad", 10, 0.8, 0.7, 0.6)]  # 0.7+0.6 > 1
+        verdicts = check_table_claims(grid, BASELINE)
+        assert not next(v for v in verdicts if v.claim_id == "C3").passed
+
+    def test_spc_varying_clp_fails_c4(self):
+        grid = [
+            agg("clp", 2, 0.90, 0.95, 0.04),
+            agg("clp", 10, 0.90, 0.50, 0.30),  # changed with data: not data-free
+            agg("grad_prune", 10, 0.88, 0.05, 0.80),
+        ]
+        verdicts = check_table_claims(grid, BASELINE)
+        assert not next(v for v in verdicts if v.claim_id == "C4").passed
+
+    def test_no_recovery_fails_c5(self):
+        grid = [agg("grad_prune", 10, 0.88, 0.05, 0.02)]  # ASR low but RA flat
+        verdicts = check_table_claims(grid, BASELINE)
+        assert not next(v for v in verdicts if v.claim_id == "C5").passed
+
+    def test_budget_regression_fails_c6(self):
+        grid = [
+            agg("grad_prune", 2, 0.85, 0.05, 0.80),
+            agg("grad_prune", 10, 0.85, 0.60, 0.30),  # worse with more data
+        ]
+        verdicts = check_table_claims(grid, BASELINE)
+        assert not next(v for v in verdicts if v.claim_id == "C6").passed
+
+
+class TestFormatting:
+    def test_format_contains_status_lines(self):
+        text = format_verdicts(check_table_claims(good_grid(), BASELINE), header="badnets")
+        assert "badnets" in text
+        assert "[PASS]" in text

@@ -1,0 +1,114 @@
+"""SVG plotting tests (structure-level: valid XML-ish, right elements)."""
+
+import pytest
+
+from repro.eval import figure_svg, scatter_svg
+
+
+def series():
+    return {
+        "grad_prune": {"acc_vs_asr": [(5.0, 90.0)], "ra_vs_asr": [(5.0, 85.0)]},
+        "ft_sam": {"acc_vs_asr": [(10.0, 88.0), (60.0, 40.0)], "ra_vs_asr": [(10.0, 80.0), (60.0, 30.0)]},
+    }
+
+
+class TestScatterSvg:
+    def test_valid_document(self):
+        svg = scatter_svg(series(), "acc_vs_asr", title="Panel")
+        assert svg.startswith("<svg")
+        assert svg.endswith("</svg>")
+        assert svg.count("<svg") == svg.count("</svg>")
+
+    def test_contains_legend_entries(self):
+        svg = scatter_svg(series())
+        assert ">grad_prune<" in svg
+        assert ">ft_sam<" in svg
+
+    def test_axis_labels(self):
+        svg = scatter_svg(series(), "ra_vs_asr")
+        assert "ASR (%)" in svg
+        assert "RA (%)" in svg
+
+    def test_point_count_matches(self):
+        svg = scatter_svg(series(), "acc_vs_asr")
+        # grad_prune: 1 data point + 1 legend marker (circles);
+        # ft_sam: 2 data + 1 legend (squares).
+        assert svg.count("<rect x=") == 3  # squares (background/frame use different attrs)
+
+    def test_title_rendered(self):
+        assert "My Title" in scatter_svg(series(), title="My Title")
+
+    def test_unknown_series_raises(self):
+        with pytest.raises(ValueError):
+            scatter_svg(series(), "loss_vs_epoch")
+
+    def test_out_of_range_values_stay_in_canvas(self):
+        svg = scatter_svg({"x": {"acc_vs_asr": [(0.0, 100.0), (100.0, 0.0)], "ra_vs_asr": []}})
+        assert "<circle" in svg
+
+
+class TestLineSvg:
+    def test_renders_polylines_and_legend(self):
+        from repro.eval import line_svg
+
+        svg = line_svg({"loss": [3.0, 2.0, 1.0], "acc": [0.1, 0.5, 0.9]}, title="Training")
+        assert svg.count("<polyline") == 2
+        assert ">loss<" in svg and ">acc<" in svg
+        assert "Training" in svg
+
+    def test_flat_series_does_not_divide_by_zero(self):
+        from repro.eval import line_svg
+
+        svg = line_svg({"constant": [1.0, 1.0, 1.0]})
+        assert "<polyline" in svg
+
+    def test_empty_raises(self):
+        from repro.eval import line_svg
+
+        with pytest.raises(ValueError):
+            line_svg({})
+        with pytest.raises(ValueError):
+            line_svg({"x": []})
+
+    def test_single_point_series(self):
+        from repro.eval import line_svg
+
+        svg = line_svg({"one": [5.0]})
+        assert "<polyline" in svg
+
+
+class TestPruningHistorySvg:
+    def test_from_real_history(self):
+        from repro.core import PruningHistory, PruningRound
+        from repro.eval import pruning_history_svg
+        from repro.models import FilterRef
+
+        history = PruningHistory()
+        for i in range(4):
+            history.rounds.append(
+                PruningRound(i, FilterRef("conv", i), 1.0, 10.0 - i, 0.9 - 0.01 * i)
+            )
+        svg = pruning_history_svg(history)
+        assert "unlearning loss" in svg
+        assert "pruning round" in svg
+
+    def test_all_rolled_back_raises(self):
+        from repro.core import PruningHistory
+        from repro.eval import pruning_history_svg
+
+        with pytest.raises(ValueError):
+            pruning_history_svg(PruningHistory())
+
+
+class TestFigureSvg:
+    def test_two_panels(self):
+        svg = figure_svg(series(), title="Figure 1")
+        assert svg.count("ACC (%)") == 1
+        assert svg.count("RA (%)") == 1
+        assert "Figure 1 — ACC vs ASR" in svg
+        assert "Figure 1 — RA vs ASR" in svg
+
+    def test_file_writable(self, tmp_path):
+        path = tmp_path / "fig.svg"
+        path.write_text(figure_svg(series()))
+        assert path.stat().st_size > 500

@@ -1,0 +1,57 @@
+"""Report formatting and scatter-series extraction tests."""
+
+from repro.eval import AggregateResult, BackdoorMetrics, format_table, render_scatter_text, scatter_series
+
+
+def agg(defense="ours", spc=10, acc=0.9, asr=0.1, ra=0.8):
+    return AggregateResult(defense, spc, acc, 0.01, asr, 0.02, ra, 0.03, 5)
+
+
+class TestFormatTable:
+    def test_contains_all_cells(self):
+        results = {"badnets": [agg("ft", 2), agg("ours", 2), agg("ft", 10)]}
+        baseline = {"badnets": BackdoorMetrics(0.92, 0.95, 0.05)}
+        text = format_table(results, baseline, title="Table I")
+        assert "Table I" in text
+        assert "badnets" in text
+        assert "baseline" in text
+        assert text.count("ft") >= 2
+        assert "90.00" in text  # acc mean as percent
+
+    def test_sorted_by_spc_then_name(self):
+        results = {"a": [agg("z", 10), agg("a", 2)]}
+        text = format_table(results, {})
+        assert text.index(" a ") < text.index(" z ")
+
+
+class TestScatterSeries:
+    def test_series_shapes(self):
+        series = scatter_series([agg("ours"), agg("ft", asr=0.5)])
+        assert set(series) == {"ours", "ft"}
+        assert series["ours"]["acc_vs_asr"] == [(10.0, 90.0)]
+        assert series["ft"]["ra_vs_asr"] == [(50.0, 80.0)]
+
+    def test_multiple_points_per_defense(self):
+        series = scatter_series([agg("ours", spc=2), agg("ours", spc=10)])
+        assert len(series["ours"]["acc_vs_asr"]) == 2
+
+
+class TestRenderScatterText:
+    def test_renders_markers_and_legend(self):
+        series = scatter_series([agg("ours"), agg("ft", asr=0.9, acc=0.3)])
+        text = render_scatter_text(series, "acc_vs_asr")
+        assert "ASR%" in text
+        assert "ACC%" in text
+        assert "= ours" in text
+        assert "= ft" in text
+
+    def test_ra_variant(self):
+        series = scatter_series([agg("ours")])
+        text = render_scatter_text(series, "ra_vs_asr")
+        assert "RA%" in text
+
+    def test_unknown_series_raises(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            render_scatter_text({}, "nope")

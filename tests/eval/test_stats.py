@@ -1,0 +1,99 @@
+"""Statistics-module tests."""
+
+import numpy as np
+import pytest
+
+from repro.eval import (
+    AggregateResult,
+    BackdoorMetrics,
+    TrialResult,
+    paired_bootstrap,
+    rank_defenses,
+    win_tie_loss,
+)
+
+
+class TestPairedBootstrap:
+    def test_clear_difference_is_significant(self):
+        a = [0.9, 0.92, 0.91, 0.93, 0.9]
+        b = [0.5, 0.52, 0.51, 0.49, 0.5]
+        result = paired_bootstrap(a, b, seed=0)
+        assert result.significant
+        assert result.mean_difference == pytest.approx(0.4, abs=0.02)
+        assert result.ci_low > 0
+
+    def test_identical_is_not_significant(self):
+        a = [0.5, 0.6, 0.7, 0.4]
+        result = paired_bootstrap(a, a, seed=0)
+        assert not result.significant
+        assert result.mean_difference == 0.0
+
+    def test_noisy_overlap_not_significant(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(0.5, 0.2, 8)
+        b = a + rng.normal(0.0, 0.3, 8)
+        result = paired_bootstrap(a, b, seed=1)
+        assert result.ci_low <= result.mean_difference <= result.ci_high
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            paired_bootstrap([1.0, 2.0], [1.0])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            paired_bootstrap([], [])
+
+    def test_deterministic_given_seed(self):
+        a = [0.8, 0.7, 0.9]
+        b = [0.6, 0.65, 0.7]
+        r1 = paired_bootstrap(a, b, seed=5)
+        r2 = paired_bootstrap(a, b, seed=5)
+        assert r1.ci_low == r2.ci_low and r1.ci_high == r2.ci_high
+
+
+def agg(defense, acc=0.9, asr=0.1, ra=0.8, spc=10):
+    return AggregateResult(defense, spc, acc, 0.0, asr, 0.0, ra, 0.0, 5)
+
+
+class TestRankDefenses:
+    def test_asr_lower_is_better(self):
+        rows = rank_defenses([agg("a", asr=0.5), agg("b", asr=0.1), agg("c", asr=0.3)], "asr")
+        assert [r[0] for r in rows] == ["b", "c", "a"]
+        assert rows[0][2] == "best"
+        assert rows[1][2] == "second"
+        assert rows[2][2] == ""
+
+    def test_acc_higher_is_better(self):
+        rows = rank_defenses([agg("a", acc=0.5), agg("b", acc=0.9)], "acc")
+        assert rows[0][0] == "b"
+
+    def test_override_direction(self):
+        rows = rank_defenses([agg("a", acc=0.5), agg("b", acc=0.9)], "acc", ascending=True)
+        assert rows[0][0] == "a"
+
+    def test_unknown_metric_raises(self):
+        with pytest.raises(ValueError):
+            rank_defenses([agg("a")], "f1")
+
+
+def trial(defense, spc, index, asr):
+    return TrialResult(defense, spc, index, BackdoorMetrics(0.9, asr, 0.8))
+
+
+class TestWinTieLoss:
+    def test_counts(self):
+        a = [trial("a", 10, 0, 0.1), trial("a", 10, 1, 0.5), trial("a", 10, 2, 0.3)]
+        b = [trial("b", 10, 0, 0.4), trial("b", 10, 1, 0.2), trial("b", 10, 2, 0.3)]
+        counts = win_tie_loss(a, b, metric="asr")
+        assert counts == {"win": 1, "loss": 1, "tie": 1}
+
+    def test_unmatched_trials_ignored(self):
+        a = [trial("a", 10, 0, 0.1), trial("a", 2, 0, 0.1)]
+        b = [trial("b", 10, 0, 0.5)]
+        counts = win_tie_loss(a, b)
+        assert sum(counts.values()) == 1
+
+    def test_higher_wins_for_acc(self):
+        a = [TrialResult("a", 10, 0, BackdoorMetrics(0.9, 0.0, 0.0))]
+        b = [TrialResult("b", 10, 0, BackdoorMetrics(0.5, 0.0, 0.0))]
+        assert win_tie_loss(a, b, metric="acc")["win"] == 1

@@ -1,0 +1,78 @@
+"""TrialCache tests: keying, round trip, resume semantics."""
+
+import numpy as np
+import pytest
+
+from repro.eval import BackdoorMetrics, ScenarioConfig, TrialCache
+
+
+def config(**overrides):
+    defaults = dict(dataset="synth_cifar", model="preact_resnet18", attack="badnets")
+    defaults.update(overrides)
+    return ScenarioConfig(**defaults)
+
+
+class TestKeying:
+    def test_key_stable(self):
+        a = TrialCache.key(config(), "ft", {"epochs": 3}, 10, 42)
+        b = TrialCache.key(config(), "ft", {"epochs": 3}, 10, 42)
+        assert a == b
+
+    def test_key_varies_with_defense(self):
+        assert TrialCache.key(config(), "ft", None, 10, 42) != TrialCache.key(
+            config(), "fp", None, 10, 42
+        )
+
+    def test_key_varies_with_kwargs(self):
+        assert TrialCache.key(config(), "ft", {"epochs": 3}, 10, 42) != TrialCache.key(
+            config(), "ft", {"epochs": 5}, 10, 42
+        )
+
+    def test_key_varies_with_budget_seed(self):
+        assert TrialCache.key(config(), "ft", None, 10, 1) != TrialCache.key(
+            config(), "ft", None, 10, 2
+        )
+
+    def test_key_varies_with_scenario(self):
+        assert TrialCache.key(config(), "ft", None, 10, 1) != TrialCache.key(
+            config(attack="blended"), "ft", None, 10, 1
+        )
+
+    def test_none_and_empty_kwargs_equivalent(self):
+        assert TrialCache.key(config(), "ft", None, 10, 1) == TrialCache.key(
+            config(), "ft", {}, 10, 1
+        )
+
+
+class TestRoundTrip:
+    def test_store_load(self, tmp_path):
+        cache = TrialCache(str(tmp_path))
+        metrics = BackdoorMetrics(0.91, 0.03, 0.85)
+        cache.store("abc", metrics)
+        loaded = cache.load("abc")
+        assert loaded.acc == pytest.approx(0.91)
+        assert loaded.asr == pytest.approx(0.03)
+        assert loaded.ra == pytest.approx(0.85)
+
+    def test_miss_returns_none(self, tmp_path):
+        assert TrialCache(str(tmp_path)).load("missing") is None
+
+
+class TestRunnerIntegration:
+    def test_second_trial_served_from_cache(self, tmp_path):
+        from repro.eval import BenchmarkRunner, DefenderBudget, ScenarioCache
+
+        runner = BenchmarkRunner(
+            cache=ScenarioCache(str(tmp_path / "m")),
+            trial_cache=TrialCache(str(tmp_path / "t")),
+            verbose=False,
+        )
+        scenario = runner.prepare(
+            config(n_train=150, n_test=60, n_reservoir=120, num_classes=3, train_epochs=2)
+        )
+        budget = DefenderBudget(spc=4, trial=0, seed=9)
+        first = runner.run_defense_trial(scenario, "clp", budget)
+        second = runner.run_defense_trial(scenario, "clp", budget)
+        assert second.details.get("cached") is True
+        assert second.metrics.acc == pytest.approx(first.metrics.acc)
+        assert second.metrics.asr == pytest.approx(first.metrics.asr)

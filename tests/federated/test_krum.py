@@ -1,0 +1,49 @@
+"""Krum aggregation tests."""
+
+import numpy as np
+import pytest
+
+from repro.federated import FederatedClient, FederatedServer, krum
+from tests.conftest import TinyConvNet, make_tiny_dataset
+
+
+def states(values):
+    return [{"w": np.array([v, v], dtype=np.float32)} for v in values]
+
+
+class TestKrum:
+    def test_picks_central_update(self):
+        # Three clustered honest updates + one far outlier.
+        result = krum(states([1.0, 1.1, 0.9, 50.0]), num_malicious=1)
+        assert abs(result["w"][0] - 1.0) < 0.2
+
+    def test_outlier_never_selected(self):
+        for outlier in (100.0, -100.0):
+            result = krum(states([0.0, 0.1, -0.1, outlier]), num_malicious=1)
+            assert abs(result["w"][0]) < 1.0
+
+    def test_returns_copy(self):
+        updates = states([1.0, 1.0, 1.0, 1.0])
+        result = krum(updates, num_malicious=1)
+        result["w"][0] = 99.0
+        assert updates[0]["w"][0] == 1.0
+
+    def test_too_few_updates_raises(self):
+        with pytest.raises(ValueError, match="Krum"):
+            krum(states([1.0, 2.0, 3.0]), num_malicious=1)
+
+    def test_selected_is_an_actual_update(self):
+        updates = states([3.0, 3.2, 2.8, -7.0])
+        result = krum(updates, num_malicious=1)
+        candidates = [u["w"][0] for u in updates]
+        assert result["w"][0] in candidates
+
+    def test_server_krum_round(self):
+        clients = [
+            FederatedClient(i, make_tiny_dataset(30, seed=i), epochs=1) for i in range(4)
+        ]
+        server = FederatedServer(
+            TinyConvNet(seed=0), clients, aggregation="krum", trim=1, seed=0
+        )
+        participants = server.run_round()
+        assert len(participants) == 4

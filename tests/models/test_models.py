@@ -1,0 +1,128 @@
+"""Model zoo tests: shapes, determinism, registry, train/eval stability."""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    MODEL_NAMES,
+    EfficientNetB3,
+    MobileNetV3Large,
+    PreActResNet18,
+    VGG19BN,
+    build_model,
+    count_filters,
+)
+from repro.nn import Tensor, cross_entropy, no_grad
+
+
+def batch(n=2, size=32, seed=0):
+    rng = np.random.default_rng(seed)
+    return Tensor(rng.uniform(0, 1, (n, 3, size, size)).astype(np.float32))
+
+
+@pytest.mark.parametrize("name", MODEL_NAMES)
+class TestAllModels:
+    def test_forward_shape(self, name):
+        model = build_model(name, num_classes=7)
+        model.eval()
+        assert model(batch()).shape == (2, 7)
+
+    def test_deterministic_construction(self, name):
+        a = build_model(name, seed=3)
+        b = build_model(name, seed=3)
+        for (na, pa), (nb, pb) in zip(a.named_parameters(), b.named_parameters()):
+            assert na == nb
+            assert np.array_equal(pa.data, pb.data)
+
+    def test_different_seeds_differ(self, name):
+        a = build_model(name, seed=1)
+        b = build_model(name, seed=2)
+        diffs = [
+            not np.array_equal(pa.data, pb.data)
+            for pa, pb in zip(a.parameters(), b.parameters())
+            if pa.data.std() > 0
+        ]
+        assert any(diffs)
+
+    def test_backward_produces_grads(self, name):
+        model = build_model(name)
+        model.train()
+        logits = model(batch())
+        cross_entropy(logits, np.array([0, 1])).backward()
+        conv_grads = [p.grad for p in model.parameters() if p.grad is not None]
+        assert len(conv_grads) > 0
+        # The first conv must receive gradient (whole graph connected).
+        first = next(iter(model.parameters()))
+        assert first.grad is not None
+        assert np.isfinite(first.grad).all()
+
+    def test_has_prunable_filters(self, name):
+        model = build_model(name)
+        assert count_filters(model) > 10
+
+    def test_eval_deterministic(self, name):
+        model = build_model(name)
+        model.eval()
+        with no_grad():
+            a = model(batch()).data
+            b = model(batch()).data
+        assert np.array_equal(a, b)
+
+
+class TestRegistry:
+    def test_unknown_model_raises(self):
+        with pytest.raises(KeyError):
+            build_model("resnet50")
+
+    def test_unknown_profile_raises(self):
+        with pytest.raises(ValueError):
+            build_model("vgg19_bn", profile="huge")
+
+    def test_paper_profile_is_larger(self):
+        quick = build_model("preact_resnet18", profile="quick")
+        paper_kwargs_model = build_model("preact_resnet18", base_width=32)
+        assert paper_kwargs_model.num_parameters() > quick.num_parameters()
+
+    def test_override_kwargs(self):
+        model = build_model("preact_resnet18", base_width=4)
+        assert model.conv1.out_channels == 4
+
+
+class TestArchitectureSpecifics:
+    def test_preact_shortcut_on_shape_change(self):
+        model = PreActResNet18(base_width=8)
+        assert not model.blocks[0].has_shortcut  # same shape
+        assert model.blocks[2].has_shortcut  # stride 2 entry
+
+    def test_vgg_layer_count(self):
+        model = VGG19BN(width_mult=0.0625)
+        conv_count = sum(
+            1 for _, m in model.named_modules() if m.__class__.__name__ == "Conv2d"
+        )
+        assert conv_count == 16  # VGG-19 has 16 conv layers
+
+    def test_efficientnet_has_se_and_depthwise(self):
+        model = EfficientNetB3(width_mult=0.2, depth_mult=0.15)
+        has_se = any(m.__class__.__name__ == "SqueezeExcite" for m in model.modules())
+        has_dw = any(
+            m.__class__.__name__ == "Conv2d" and m.groups > 1 for m in model.modules()
+        )
+        assert has_se and has_dw
+
+    def test_mobilenet_residual_blocks(self):
+        model = MobileNetV3Large(width_mult=0.25, max_blocks=6)
+        residuals = [b.use_residual for b in model.blocks]
+        assert any(residuals)
+        assert not residuals[1]  # stride-2 block can't be residual
+
+    def test_mobilenet_max_blocks_truncates(self):
+        small = MobileNetV3Large(max_blocks=3)
+        large = MobileNetV3Large(max_blocks=10)
+        assert len(small.blocks) == 3
+        assert len(large.blocks) == 10
+
+    def test_smaller_inputs_supported(self):
+        # Defense unit tests run on 8x8 images; strides must not collapse.
+        model = PreActResNet18(base_width=4)
+        model.eval()
+        assert model(batch(size=8)).shape == (2, 10)

@@ -1,0 +1,42 @@
+"""Paper-profile construction tests (full-width architectures).
+
+Only construction and parameter accounting — no forward pass (a full-width
+forward is benchmark territory).  Verifies the paper profile actually
+builds the published configurations.
+"""
+
+import pytest
+
+from repro.models import MODEL_NAMES, build_model, count_filters
+
+
+class TestPaperProfile:
+    def test_preact_resnet18_paper_width(self):
+        model = build_model("preact_resnet18", profile="paper")
+        # Published PreactResNet-18 for CIFAR: ~11.2M parameters.
+        assert 10_000_000 < model.num_parameters() < 12_000_000
+        assert model.conv1.out_channels == 64
+
+    def test_vgg19_paper_width(self):
+        model = build_model("vgg19_bn", profile="paper")
+        first_conv = model.features[0]
+        assert first_conv.out_channels == 64
+        # Conv stack of VGG-19 on 32x32 (small classifier head): ~20M params.
+        assert model.num_parameters() > 15_000_000
+
+    def test_efficientnet_b3_paper_structure(self):
+        model = build_model("efficientnet_b3", profile="paper")
+        # B3 has 26 MBConv blocks (2+3+3+5+5+6+2).
+        assert len(model.blocks) == 26
+        assert model.num_parameters() > 8_000_000
+
+    def test_mobilenet_v3_paper_structure(self):
+        model = build_model("mobilenet_v3_large", profile="paper")
+        assert len(model.blocks) == 15
+        assert model.num_parameters() > 3_000_000
+
+    @pytest.mark.parametrize("name", MODEL_NAMES)
+    def test_paper_has_more_filters_than_quick(self, name):
+        paper = build_model(name, profile="paper")
+        quick = build_model(name, profile="quick")
+        assert count_filters(paper) > count_filters(quick)

@@ -1,0 +1,58 @@
+"""Model-summary tests."""
+
+import numpy as np
+import pytest
+
+from repro.models import build_model, count_filters, summarize
+from tests.conftest import TinyConvNet
+
+
+class TestSummarize:
+    def test_rows_cover_leaf_layers(self):
+        model = TinyConvNet()
+        summary = summarize(model, input_shape=(3, 8, 8))
+        type_names = {r.type_name for r in summary.rows}
+        assert "Conv2d" in type_names
+        assert "BatchNorm2d" in type_names
+        assert "Linear" in type_names
+
+    def test_totals_match_model(self):
+        model = TinyConvNet()
+        summary = summarize(model, input_shape=(3, 8, 8))
+        assert summary.total_params == model.num_parameters()
+        assert summary.conv_filters == count_filters(model)
+        assert sum(r.num_params for r in summary.rows) == summary.total_params
+
+    def test_output_shapes_recorded(self):
+        model = TinyConvNet()
+        summary = summarize(model, input_shape=(3, 8, 8))
+        first_conv = next(r for r in summary.rows if r.type_name == "Conv2d")
+        assert first_conv.output_shape == (8, 8, 8)
+
+    def test_table_renders(self):
+        summary = summarize(TinyConvNet(), input_shape=(3, 8, 8))
+        text = summary.table()
+        assert "total parameters" in text
+        assert "Conv2d" in text
+
+    def test_training_mode_restored(self):
+        model = TinyConvNet()
+        model.train()
+        summarize(model, input_shape=(3, 8, 8))
+        assert model.training
+        model.eval()
+        summarize(model, input_shape=(3, 8, 8))
+        assert not model.training
+
+    @pytest.mark.parametrize("name", ["preact_resnet18", "vgg19_bn"])
+    def test_zoo_models_summarize(self, name):
+        model = build_model(name)
+        summary = summarize(model, input_shape=(3, 32, 32))
+        assert len(summary.rows) > 10
+        assert summary.total_params > 0
+
+    def test_no_hooks_left_behind(self):
+        model = TinyConvNet()
+        summarize(model, input_shape=(3, 8, 8))
+        for module in model.modules():
+            assert not module._forward_hooks

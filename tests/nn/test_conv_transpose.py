@@ -1,0 +1,105 @@
+"""conv_transpose2d tests: shapes, values, gradients."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor
+from repro.nn import functional as F
+
+RNG = np.random.default_rng(7)
+
+
+def numgrad(f, x, eps=1e-5):
+    grad = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = x[idx]
+        x[idx] = orig + eps
+        fp = f()
+        x[idx] = orig - eps
+        fm = f()
+        x[idx] = orig
+        grad[idx] = (fp - fm) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+class TestShapes:
+    @pytest.mark.parametrize(
+        "h,stride,padding,kernel,expected",
+        [(4, 1, 0, 3, 6), (4, 2, 1, 3, 7), (4, 2, 0, 3, 9), (3, 1, 1, 3, 3)],
+    )
+    def test_output_size_formula(self, h, stride, padding, kernel, expected):
+        x = Tensor(np.zeros((1, 2, h, h), dtype=np.float32))
+        w = Tensor(np.zeros((2, 3, kernel, kernel), dtype=np.float32))
+        out = F.conv_transpose2d(x, w, None, stride, padding)
+        assert out.shape == (1, 3, expected, expected)
+
+    def test_channel_mismatch_raises(self):
+        x = Tensor(np.zeros((1, 2, 4, 4)))
+        w = Tensor(np.zeros((3, 3, 3, 3)))
+        with pytest.raises(ValueError, match="mismatch"):
+            F.conv_transpose2d(x, w, None)
+
+    def test_degenerate_output_raises(self):
+        x = Tensor(np.zeros((1, 1, 1, 1)))
+        w = Tensor(np.zeros((1, 1, 1, 1)))
+        with pytest.raises(ValueError, match="non-positive"):
+            F.conv_transpose2d(x, w, None, stride=1, padding=2)
+
+
+class TestValues:
+    def test_single_pixel_stamps_kernel(self):
+        # A 1x1 input with value v produces v * kernel.
+        x = Tensor(np.array([[[[2.0]]]], dtype=np.float32))
+        kernel = RNG.normal(size=(1, 1, 3, 3)).astype(np.float32)
+        out = F.conv_transpose2d(x, Tensor(kernel), None)
+        assert np.allclose(out.data[0, 0], 2.0 * kernel[0, 0], atol=1e-6)
+
+    def test_stride_spreads_contributions(self):
+        x = Tensor(np.ones((1, 1, 2, 2), dtype=np.float32))
+        w = Tensor(np.ones((1, 1, 1, 1), dtype=np.float32))
+        out = F.conv_transpose2d(x, w, None, stride=2)
+        # 1x1 kernel, stride 2: inputs land on a dilated grid.
+        assert out.shape == (1, 1, 3, 3)
+        assert out.data[0, 0].sum() == pytest.approx(4.0)
+        assert out.data[0, 0, 0, 1] == 0.0
+
+    def test_bias_added(self):
+        x = Tensor(np.zeros((1, 1, 2, 2), dtype=np.float32))
+        w = Tensor(np.zeros((1, 2, 3, 3), dtype=np.float32))
+        b = Tensor(np.array([1.5, -0.5], dtype=np.float32))
+        out = F.conv_transpose2d(x, w, b)
+        assert np.allclose(out.data[0, 0], 1.5)
+        assert np.allclose(out.data[0, 1], -0.5)
+
+
+class TestGradients:
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (2, 1), (2, 0)])
+    def test_gradcheck(self, stride, padding):
+        x = Tensor(RNG.normal(size=(2, 3, 4, 4)), requires_grad=True)
+        w = Tensor(RNG.normal(size=(3, 4, 3, 3)), requires_grad=True)
+        b = Tensor(RNG.normal(size=(4,)), requires_grad=True)
+        out = F.conv_transpose2d(x, w, b, stride, padding)
+        (out * out).sum().backward()
+
+        def f():
+            o = F.conv_transpose2d(Tensor(x.data), Tensor(w.data), Tensor(b.data), stride, padding)
+            return float((o.data ** 2).sum())
+
+        assert np.abs(numgrad(f, x.data) - x.grad).max() < 1e-4
+        assert np.abs(numgrad(f, w.data) - w.grad).max() < 1e-4
+        assert np.abs(numgrad(f, b.data) - b.grad).max() < 1e-4
+
+    def test_adjoint_of_conv_unit_stride(self):
+        # <conv(x), y> == <x, conv_transpose(y)> for stride 1 (exact adjoint).
+        x = Tensor(RNG.normal(size=(1, 2, 6, 6)))
+        w = RNG.normal(size=(3, 2, 3, 3))  # conv layout (C_out, C_in, k, k)
+        y_shape_probe = F.conv2d(x, Tensor(w), None, 1, 1)
+        y = Tensor(RNG.normal(size=y_shape_probe.shape))
+        lhs = float((y_shape_probe.data * y.data).sum())
+        # Transposed layout: (C_in_of_transpose = C_out_of_conv, C_out = C_in).
+        xt = F.conv_transpose2d(y, Tensor(w), None, 1, 1)
+        rhs = float((x.data * xt.data).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-4)

@@ -1,0 +1,200 @@
+"""Tests for the Module system: registration, traversal, state dicts, hooks."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    BatchNorm2d,
+    Conv2d,
+    Linear,
+    Module,
+    ModuleList,
+    Parameter,
+    ReLU,
+    Sequential,
+    Tensor,
+)
+from repro.nn.module import replace_module
+
+
+class Branchy(Module):
+    def __init__(self):
+        super().__init__()
+        self.conv = Conv2d(3, 4, 3, padding=1, rng=np.random.default_rng(0))
+        self.bn = BatchNorm2d(4)
+        self.head = Sequential(Linear(4, 4), ReLU(), Linear(4, 2))
+
+    def forward(self, x):
+        out = self.bn(self.conv(x)).relu()
+        return self.head(out.mean(axis=(2, 3)))
+
+
+class TestRegistration:
+    def test_parameters_found_recursively(self):
+        model = Branchy()
+        names = [n for n, _ in model.named_parameters()]
+        assert "conv.weight" in names
+        assert "bn.weight" in names
+        assert "head.0.weight" in names
+        assert "head.2.bias" in names
+
+    def test_named_modules_paths(self):
+        model = Branchy()
+        paths = dict(model.named_modules())
+        assert "" in paths  # root
+        assert "conv" in paths
+        assert "head.1" in paths
+
+    def test_buffers_registered(self):
+        model = Branchy()
+        buffer_names = [n for n, _ in model.named_buffers()]
+        assert "bn.running_mean" in buffer_names
+        assert "bn.running_var" in buffer_names
+
+    def test_num_parameters_counts_scalars(self):
+        linear = Linear(3, 2)
+        assert linear.num_parameters() == 3 * 2 + 2
+
+    def test_update_buffer_unknown_name_raises(self):
+        bn = BatchNorm2d(2)
+        with pytest.raises(KeyError):
+            bn._update_buffer("nope", np.zeros(2))
+
+
+class TestTrainEval:
+    def test_mode_propagates(self):
+        model = Branchy()
+        model.eval()
+        assert not model.bn.training
+        assert not model.head.training
+        model.train()
+        assert model.bn.training
+
+    def test_zero_grad_clears_all(self):
+        model = Branchy()
+        x = Tensor(np.random.default_rng(0).normal(size=(2, 3, 4, 4)).astype(np.float32))
+        model(x).sum().backward()
+        assert any(p.grad is not None for p in model.parameters())
+        model.zero_grad()
+        assert all(p.grad is None for p in model.parameters())
+
+
+class TestStateDict:
+    def test_round_trip(self):
+        a = Branchy()
+        b = Branchy()
+        for p in a.parameters():
+            p.data += 1.0
+        b.load_state_dict(a.state_dict())
+        for pa, pb in zip(a.parameters(), b.parameters()):
+            assert np.array_equal(pa.data, pb.data)
+
+    def test_state_dict_copies(self):
+        model = Branchy()
+        state = model.state_dict()
+        state["conv.weight"][...] = 99.0
+        assert not np.allclose(model.conv.weight.data, 99.0)
+
+    def test_buffers_round_trip(self):
+        a = Branchy()
+        a.bn._update_buffer("running_mean", np.full(4, 7.0, dtype=np.float32))
+        b = Branchy()
+        b.load_state_dict(a.state_dict())
+        assert np.allclose(b.bn.running_mean, 7.0)
+
+    def test_strict_missing_raises(self):
+        model = Branchy()
+        state = model.state_dict()
+        del state["conv.weight"]
+        with pytest.raises(KeyError, match="missing"):
+            model.load_state_dict(state)
+
+    def test_strict_unexpected_raises(self):
+        model = Branchy()
+        state = model.state_dict()
+        state["bogus"] = np.zeros(1)
+        with pytest.raises(KeyError, match="unexpected"):
+            model.load_state_dict(state)
+
+    def test_non_strict_tolerates(self):
+        model = Branchy()
+        state = model.state_dict()
+        del state["conv.weight"]
+        state["bogus"] = np.zeros(1)
+        model.load_state_dict(state, strict=False)
+
+    def test_shape_mismatch_raises(self):
+        model = Branchy()
+        state = model.state_dict()
+        state["conv.weight"] = np.zeros((1, 1, 1, 1), dtype=np.float32)
+        with pytest.raises(ValueError, match="shape"):
+            model.load_state_dict(state)
+
+
+class TestHooks:
+    def test_forward_hook_fires(self):
+        model = Branchy()
+        captured = []
+        handle = model.conv.register_forward_hook(lambda m, out: captured.append(out))
+        model(Tensor(np.zeros((1, 3, 4, 4), dtype=np.float32)))
+        assert len(captured) == 1
+        assert captured[0].shape == (1, 4, 4, 4)
+
+    def test_hook_removal(self):
+        model = Branchy()
+        captured = []
+        handle = model.conv.register_forward_hook(lambda m, out: captured.append(out))
+        handle.remove()
+        model(Tensor(np.zeros((1, 3, 4, 4), dtype=np.float32)))
+        assert not captured
+
+    def test_hook_output_is_graph_connected(self):
+        model = Branchy()
+        captured = []
+        model.conv.register_forward_hook(lambda m, out: captured.append(out))
+        model(Tensor(np.zeros((1, 3, 4, 4), dtype=np.float32)))
+        loss = (captured[0] * captured[0]).sum()
+        loss.backward()
+        assert model.conv.weight.grad is not None
+
+
+class TestReplaceModule:
+    def test_replace_and_restore(self):
+        model = Branchy()
+        original = model.conv
+        stub = Conv2d(3, 4, 3, padding=1)
+        old = replace_module(model, "conv", stub)
+        assert old is original
+        assert model.conv is stub
+        replace_module(model, "conv", original)
+        assert model.conv is original
+
+    def test_replace_nested(self):
+        model = Branchy()
+        new_linear = Linear(4, 4)
+        replace_module(model, "head.0", new_linear)
+        assert model.head[0] is new_linear
+
+    def test_replace_bad_path_raises(self):
+        with pytest.raises(KeyError):
+            replace_module(Branchy(), "nonexistent.conv", Linear(1, 1))
+
+
+class TestContainers:
+    def test_sequential_iteration_and_index(self):
+        seq = Sequential(Linear(2, 3), ReLU(), Linear(3, 1))
+        assert len(seq) == 3
+        assert isinstance(seq[1], ReLU)
+        assert len(list(iter(seq))) == 3
+
+    def test_sequential_forward_chains(self):
+        seq = Sequential(Linear(2, 2, rng=np.random.default_rng(0)), ReLU())
+        out = seq(Tensor(np.ones((1, 2), dtype=np.float32)))
+        assert out.shape == (1, 2)
+        assert (out.data >= 0).all()
+
+    def test_module_list_append_and_params(self):
+        ml = ModuleList([Linear(2, 2)])
+        ml.append(Linear(2, 2))
+        assert len(ml) == 2
+        assert len(list(ml[1].parameters())) == 2

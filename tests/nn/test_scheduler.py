@@ -1,0 +1,66 @@
+"""Learning-rate scheduler tests."""
+
+import numpy as np
+import pytest
+
+from repro.nn import SGD, CosineAnnealingLR, MultiStepLR, Parameter, StepLR
+
+
+def make_opt(lr=1.0):
+    return SGD([Parameter(np.zeros(1))], lr=lr)
+
+
+class TestStepLR:
+    def test_decays_every_step_size(self):
+        opt = make_opt()
+        sched = StepLR(opt, step_size=2, gamma=0.1)
+        lrs = []
+        for _ in range(5):
+            sched.step()
+            lrs.append(opt.lr)
+        # After k steps the epoch counter is k: decay applies at epochs 2, 4.
+        assert lrs == pytest.approx([1.0, 0.1, 0.1, 0.01, 0.01])
+
+
+class TestMultiStepLR:
+    def test_milestones(self):
+        opt = make_opt()
+        sched = MultiStepLR(opt, milestones=[2, 4], gamma=0.5)
+        lrs = []
+        for _ in range(5):
+            sched.step()
+            lrs.append(opt.lr)
+        assert lrs == pytest.approx([1.0, 0.5, 0.5, 0.25, 0.25])
+
+
+class TestCosine:
+    def test_endpoints(self):
+        opt = make_opt()
+        sched = CosineAnnealingLR(opt, t_max=10, eta_min=0.0)
+        assert sched.get_lr() == pytest.approx(1.0)
+        for _ in range(10):
+            sched.step()
+        assert opt.lr == pytest.approx(0.0, abs=1e-9)
+
+    def test_midpoint_half(self):
+        opt = make_opt()
+        sched = CosineAnnealingLR(opt, t_max=10)
+        for _ in range(5):
+            sched.step()
+        assert opt.lr == pytest.approx(0.5, abs=1e-6)
+
+    def test_clamps_past_t_max(self):
+        opt = make_opt()
+        sched = CosineAnnealingLR(opt, t_max=4, eta_min=0.1)
+        for _ in range(10):
+            sched.step()
+        assert opt.lr == pytest.approx(0.1)
+
+    def test_monotone_decreasing(self):
+        opt = make_opt()
+        sched = CosineAnnealingLR(opt, t_max=20)
+        previous = opt.lr
+        for _ in range(20):
+            sched.step()
+            assert opt.lr <= previous + 1e-12
+            previous = opt.lr

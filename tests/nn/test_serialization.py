@@ -1,0 +1,48 @@
+"""Checkpoint save/load tests."""
+
+import os
+
+import numpy as np
+
+from repro.nn import BatchNorm2d, Conv2d, Linear, ReLU, Sequential
+from repro.nn.serialization import load_module, load_state, save_module, save_state
+
+
+def make_model(seed=0):
+    rng = np.random.default_rng(seed)
+    return Sequential(
+        Conv2d(3, 4, 3, padding=1, rng=rng), BatchNorm2d(4), ReLU(),
+    )
+
+
+class TestStateIO:
+    def test_save_load_round_trip(self, tmp_path):
+        path = str(tmp_path / "ckpt.npz")
+        state = {"a": np.arange(3, dtype=np.float32), "b": np.ones((2, 2))}
+        save_state(state, path)
+        loaded = load_state(path)
+        assert set(loaded) == {"a", "b"}
+        assert np.array_equal(loaded["a"], state["a"])
+
+    def test_save_creates_directories(self, tmp_path):
+        path = str(tmp_path / "deep" / "nested" / "ckpt.npz")
+        save_state({"x": np.zeros(1)}, path)
+        assert os.path.exists(path)
+
+
+class TestModuleIO:
+    def test_module_round_trip(self, tmp_path):
+        path = str(tmp_path / "model.npz")
+        a = make_model(seed=1)
+        a[1]._update_buffer("running_mean", np.full(4, 3.0, dtype=np.float32))
+        save_module(a, path)
+        b = make_model(seed=2)
+        load_module(b, path)
+        assert np.array_equal(a[0].weight.data, b[0].weight.data)
+        assert np.allclose(b[1].running_mean, 3.0)
+
+    def test_load_returns_module(self, tmp_path):
+        path = str(tmp_path / "model.npz")
+        a = make_model()
+        save_module(a, path)
+        assert load_module(make_model(), path) is not None

@@ -1,0 +1,126 @@
+"""Numerical-stability and failure-injection tests for the substrate.
+
+Defense code feeds the engine unusual inputs — tiny batches, pruned-to-zero
+channels, saturated logits — and must not produce NaNs or silent garbage.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    BatchNorm2d,
+    SGD,
+    Tensor,
+    cross_entropy,
+    no_grad,
+)
+from repro.nn import functional as F
+
+
+class TestSaturation:
+    def test_log_softmax_extreme_logits(self):
+        logits = Tensor(np.array([[1e4, -1e4, 0.0]], dtype=np.float32))
+        out = logits.log_softmax()
+        assert np.isfinite(out.data).all()
+
+    def test_cross_entropy_confident_wrong_finite(self):
+        logits = Tensor(np.array([[100.0, -100.0]], dtype=np.float32), requires_grad=True)
+        loss = cross_entropy(logits, np.array([1]))
+        assert np.isfinite(loss.item())
+        loss.backward()
+        assert np.isfinite(logits.grad).all()
+
+    def test_sigmoid_extremes(self):
+        out = Tensor(np.array([-500.0, 500.0], dtype=np.float32)).sigmoid()
+        assert np.isfinite(out.data).all()
+        assert out.data[0] >= 0.0 and out.data[1] <= 1.0
+
+
+class TestDegenerateBatchNorm:
+    def test_constant_input_train_mode(self):
+        # Zero variance: eps must keep the output finite.
+        bn = BatchNorm2d(2)
+        bn.train()
+        x = Tensor(np.full((4, 2, 3, 3), 7.0, dtype=np.float32), requires_grad=True)
+        out = bn(x)
+        assert np.isfinite(out.data).all()
+        out.sum().backward()
+        assert np.isfinite(x.grad).all()
+
+    def test_batch_of_one_spatial_many(self):
+        bn = BatchNorm2d(3)
+        bn.train()
+        x = Tensor(np.random.default_rng(0).normal(size=(1, 3, 8, 8)).astype(np.float32))
+        assert np.isfinite(bn(x).data).all()
+
+    def test_eval_mode_with_tiny_running_var(self):
+        bn = BatchNorm2d(2)
+        bn._update_buffer("running_var", np.full(2, 1e-12, dtype=np.float32))
+        bn.eval()
+        x = Tensor(np.ones((2, 2, 2, 2), dtype=np.float32))
+        assert np.isfinite(bn(x).data).all()
+
+
+class TestZeroedChannels:
+    def test_forward_through_pruned_conv(self):
+        # A fully zeroed filter must produce exactly zero output and not
+        # destabilize downstream batch norm.
+        from repro.nn import Conv2d, Sequential, ReLU
+
+        net = Sequential(Conv2d(3, 4, 3, padding=1), BatchNorm2d(4), ReLU())
+        net[0].weight.data[0] = 0.0
+        net[0].bias.data[0] = 0.0
+        net.train()
+        x = Tensor(np.random.default_rng(1).normal(size=(8, 3, 6, 6)).astype(np.float32))
+        out = net(x)
+        assert np.isfinite(out.data).all()
+
+    def test_gradient_flows_through_zero_weights(self):
+        from repro.nn import Conv2d
+
+        conv = Conv2d(2, 2, 3, padding=1)
+        conv.weight.data[...] = 0.0
+        x = Tensor(np.ones((1, 2, 4, 4), dtype=np.float32))
+        out = conv(x)
+        out.sum().backward()
+        # Zero weights still receive gradient (so fine-tuning could regrow
+        # them — which is why PruningMask.apply exists).
+        assert conv.weight.grad is not None
+        assert np.abs(conv.weight.grad).sum() > 0
+
+
+class TestTinyBatches:
+    def test_single_sample_training_step(self):
+        from tests.conftest import TinyConvNet
+
+        model = TinyConvNet(seed=0)
+        model.train()
+        optimizer = SGD(model.parameters(), lr=0.01)
+        x = Tensor(np.random.default_rng(0).uniform(0, 1, (1, 3, 8, 8)).astype(np.float32))
+        loss = cross_entropy(model(x), np.array([0]))
+        loss.backward()
+        optimizer.step()
+        for p in model.parameters():
+            assert np.isfinite(p.data).all()
+
+    def test_eval_on_single_sample(self):
+        from tests.conftest import TinyConvNet
+
+        model = TinyConvNet(seed=0)
+        model.eval()
+        with no_grad():
+            out = model(Tensor(np.zeros((1, 3, 8, 8), dtype=np.float32)))
+        assert out.shape == (1, 3)
+
+
+class TestPoolingEdgeCases:
+    def test_max_pool_all_negative(self):
+        x = Tensor(np.full((1, 1, 4, 4), -3.0, dtype=np.float32))
+        out = F.max_pool2d(x, 2, 2)
+        assert np.allclose(out.data, -3.0)
+
+    def test_window_equal_to_image(self):
+        x = Tensor(np.random.default_rng(0).normal(size=(1, 2, 4, 4)).astype(np.float32))
+        out = F.max_pool2d(x, 4, 4)
+        assert out.shape == (1, 2, 1, 1)
+        assert np.allclose(out.data.reshape(2), x.data.max(axis=(2, 3)).reshape(2))

@@ -1,0 +1,136 @@
+"""Additional Tensor coverage: batched matmul, slicing, axis variants."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor
+
+
+class TestBatchedMatmul:
+    def test_3d_batched_forward(self):
+        rng = np.random.default_rng(0)
+        a = Tensor(rng.normal(size=(4, 2, 3)).astype(np.float32))
+        b = Tensor(rng.normal(size=(4, 3, 5)).astype(np.float32))
+        out = a @ b
+        assert out.shape == (4, 2, 5)
+        assert np.allclose(out.data, a.data @ b.data, atol=1e-5)
+
+    def test_3d_batched_backward_shapes(self):
+        rng = np.random.default_rng(1)
+        a = Tensor(rng.normal(size=(4, 2, 3)).astype(np.float32), requires_grad=True)
+        b = Tensor(rng.normal(size=(4, 3, 5)).astype(np.float32), requires_grad=True)
+        (a @ b).sum().backward()
+        assert a.grad.shape == (4, 2, 3)
+        assert b.grad.shape == (4, 3, 5)
+
+    def test_broadcast_matmul_backward(self):
+        # (1, K, N) weight broadcast against (B, M, K) batch.
+        rng = np.random.default_rng(2)
+        w = Tensor(rng.normal(size=(1, 3, 4)).astype(np.float32), requires_grad=True)
+        x = Tensor(rng.normal(size=(5, 2, 3)).astype(np.float32), requires_grad=True)
+        (x @ w).sum().backward()
+        assert w.grad.shape == (1, 3, 4)  # broadcast dim summed back
+        assert x.grad.shape == (5, 2, 3)
+
+    def test_batched_matmul_gradcheck(self):
+        rng = np.random.default_rng(3)
+        a = Tensor(rng.normal(size=(2, 2, 3)), requires_grad=True)
+        b = Tensor(rng.normal(size=(2, 3, 2)), requires_grad=True)
+        ((a @ b) ** 2.0).sum().backward()
+
+        def f():
+            return float(((a.data @ b.data) ** 2).sum())
+
+        def numgrad(x, eps=1e-5):
+            g = np.zeros_like(x)
+            it = np.nditer(x, flags=["multi_index"])
+            while not it.finished:
+                i = it.multi_index
+                orig = x[i]
+                x[i] = orig + eps
+                fp = f()
+                x[i] = orig - eps
+                fm = f()
+                x[i] = orig
+                g[i] = (fp - fm) / (2 * eps)
+                it.iternext()
+            return g
+
+        assert np.abs(numgrad(a.data) - a.grad).max() < 1e-4
+        assert np.abs(numgrad(b.data) - b.grad).max() < 1e-4
+
+
+class TestSlicing:
+    def test_slice_rows_backward(self):
+        x = Tensor(np.arange(12, dtype=np.float32).reshape(4, 3), requires_grad=True)
+        x[1:3].sum().backward()
+        expected = np.zeros((4, 3), dtype=np.float32)
+        expected[1:3] = 1.0
+        assert np.array_equal(x.grad, expected)
+
+    def test_boolean_mask_indexing(self):
+        x = Tensor(np.arange(5, dtype=np.float32), requires_grad=True)
+        mask = np.array([True, False, True, False, True])
+        out = x[mask]
+        assert out.shape == (3,)
+        out.sum().backward()
+        assert np.array_equal(x.grad, mask.astype(np.float32))
+
+    def test_single_element_slice(self):
+        # Note: scalar indexing (x[2]) is unsupported — use a length-1 slice.
+        x = Tensor(np.arange(4, dtype=np.float32), requires_grad=True)
+        x[2:3].sum().backward()
+        assert x.grad.tolist() == [0.0, 0.0, 1.0, 0.0]
+
+
+class TestConcatenateAxes:
+    def test_axis_1(self):
+        a = Tensor(np.ones((2, 3)), requires_grad=True)
+        b = Tensor(np.full((2, 2), 2.0), requires_grad=True)
+        out = Tensor.concatenate([a, b], axis=1)
+        assert out.shape == (2, 5)
+        (out * 3.0).sum().backward()
+        assert np.allclose(a.grad, 3.0)
+        assert np.allclose(b.grad, 3.0)
+
+    def test_raw_arrays_accepted(self):
+        out = Tensor.concatenate([np.ones((1, 2)), np.zeros((1, 2))])
+        assert out.shape == (2, 2)
+
+    def test_mixed_grad_flags(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        b = Tensor(np.ones((2, 2)))  # no grad
+        out = Tensor.concatenate([a, b], axis=0)
+        out.sum().backward()
+        assert a.grad is not None
+        assert b.grad is None
+
+
+class TestReductionAxes:
+    def test_sum_negative_axis(self):
+        x = Tensor(np.ones((2, 3)), requires_grad=True)
+        out = x.sum(axis=-1)
+        assert out.shape == (2,)
+        out.sum().backward()
+        assert np.allclose(x.grad, 1.0)
+
+    def test_var_keepdims(self):
+        x = Tensor(np.random.default_rng(0).normal(size=(3, 4)).astype(np.float32))
+        assert x.var(axis=1, keepdims=True).shape == (3, 1)
+
+    def test_max_keepdims(self):
+        x = Tensor(np.random.default_rng(1).normal(size=(3, 4)).astype(np.float32))
+        assert x.max(axis=0, keepdims=True).shape == (1, 4)
+
+
+class TestClampVariants:
+    def test_min_only(self):
+        x = Tensor(np.array([-2.0, 0.5], dtype=np.float32), requires_grad=True)
+        out = x.clamp(min_value=0.0)
+        assert out.data.tolist() == [0.0, 0.5]
+        out.sum().backward()
+        assert x.grad.tolist() == [0.0, 1.0]
+
+    def test_max_only(self):
+        x = Tensor(np.array([0.5, 2.0], dtype=np.float32))
+        assert x.clamp(max_value=1.0).data.tolist() == [0.5, 1.0]

@@ -1,0 +1,80 @@
+"""Property-based tests for attack invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.attacks import ATTACK_REGISTRY, build_attack
+
+SHAPE = (3, 8, 8)
+
+unit_images = arrays(
+    dtype=np.float32,
+    shape=(2, *SHAPE),
+    elements=st.floats(min_value=0.0, max_value=1.0, allow_nan=False, width=32),
+)
+
+attack_names = st.sampled_from(sorted(ATTACK_REGISTRY))
+
+
+@settings(max_examples=30, deadline=None)
+@given(unit_images, attack_names)
+def test_triggered_images_stay_in_unit_range(images, name):
+    attack = build_attack(name, image_shape=SHAPE)
+    out = attack.apply(images)
+    assert out.min() >= 0.0
+    assert out.max() <= 1.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(unit_images, attack_names)
+def test_trigger_application_deterministic(images, name):
+    attack = build_attack(name, image_shape=SHAPE)
+    assert np.array_equal(attack.apply(images), attack.apply(images))
+
+
+@settings(max_examples=30, deadline=None)
+@given(unit_images, attack_names)
+def test_input_never_mutated(images, name):
+    attack = build_attack(name, image_shape=SHAPE)
+    before = images.copy()
+    attack.apply(images)
+    assert np.array_equal(images, before)
+
+
+@settings(max_examples=30, deadline=None)
+@given(unit_images)
+def test_badnets_patch_identical_across_inputs(images):
+    attack = build_attack("badnets", image_shape=SHAPE, patch_size=2)
+    out = attack.apply(images)
+    patch0 = out[0, :, -2:, -2:]
+    patch1 = out[1, :, -2:, -2:]
+    assert np.array_equal(patch0, patch1)
+
+
+@settings(max_examples=30, deadline=None)
+@given(unit_images)
+def test_blended_bounded_distance(images):
+    ratio = 0.2
+    attack = build_attack("blended", image_shape=SHAPE, blend_ratio=ratio)
+    out = attack.apply(images)
+    # Blend moves each pixel at most `ratio` toward the pattern.
+    assert np.abs(out - images).max() <= ratio + 1e-5
+
+
+@settings(max_examples=30, deadline=None)
+@given(unit_images)
+def test_lf_perturbation_bounded(images):
+    amplitude = 0.15
+    attack = build_attack("lf", image_shape=SHAPE, amplitude=amplitude)
+    out = attack.apply(images)
+    assert np.abs(out - images).max() <= amplitude + 1e-5
+
+
+@settings(max_examples=30, deadline=None)
+@given(unit_images, st.integers(min_value=1, max_value=4))
+def test_bpp_quantization_level_count(images, depth):
+    attack = build_attack("bpp", image_shape=SHAPE, bit_depth=depth)
+    out = attack.apply(images)
+    assert len(np.unique(out)) <= 2 ** depth

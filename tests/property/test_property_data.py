@@ -1,0 +1,69 @@
+"""Property-based tests for data splitting and pruning invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import ImageDataset, defender_split, spc_subset
+from repro.models import FilterRef, PruningMask, count_filters
+from repro.nn import Conv2d, Sequential
+
+
+def dataset_of(per_class: int, num_classes: int, seed: int) -> ImageDataset:
+    n = per_class * num_classes
+    rng = np.random.default_rng(seed)
+    labels = np.repeat(np.arange(num_classes), per_class)
+    return ImageDataset(rng.uniform(0, 1, (n, 3, 4, 4)).astype(np.float32), labels)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=8),   # spc
+    st.integers(min_value=2, max_value=5),   # num_classes
+    st.integers(min_value=0, max_value=100), # seed
+)
+def test_spc_subset_always_balanced(spc, num_classes, seed):
+    ds = dataset_of(per_class=10, num_classes=num_classes, seed=seed)
+    subset = spc_subset(ds, spc, np.random.default_rng(seed))
+    assert subset.class_counts().tolist() == [spc] * num_classes
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.sampled_from([2, 4, 10, 20]),
+    st.integers(min_value=0, max_value=100),
+)
+def test_defender_split_partitions_budget(spc, seed):
+    ds = dataset_of(per_class=25, num_classes=3, seed=seed)
+    train, val = defender_split(ds, spc, np.random.default_rng(seed))
+    assert len(train) + len(val) == spc * 3
+    assert len(train) >= 1 and len(val) >= 1
+    # Every class is represented in validation (stratification property).
+    assert (val.class_counts() >= 1).all()
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=5), min_size=0, max_size=6, unique=True))
+def test_pruning_mask_len_matches_pruned_set(indices):
+    net = Sequential(Conv2d(3, 6, 3, rng=np.random.default_rng(0)))
+    mask = PruningMask(net)
+    for index in indices:
+        mask.prune(FilterRef("0", index))
+    assert len(mask) == len(indices)
+    assert mask.sparsity() == len(indices) / count_filters(net)
+    mask.apply()
+    for index in indices:
+        assert np.all(net[0].weight.data[index] == 0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=5))
+def test_prune_unprune_is_identity(index):
+    net = Sequential(Conv2d(3, 6, 3, rng=np.random.default_rng(1)))
+    original = net[0].weight.data.copy()
+    mask = PruningMask(net)
+    ref = FilterRef("0", index)
+    saved = mask.prune(ref)
+    mask.unprune(ref, saved)
+    assert np.array_equal(net[0].weight.data, original)
+    assert len(mask) == 0

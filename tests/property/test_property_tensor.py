@@ -1,0 +1,126 @@
+"""Property-based tests (hypothesis) for autograd invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.nn import Tensor
+
+finite_floats = st.floats(
+    min_value=-10.0, max_value=10.0, allow_nan=False, allow_infinity=False, width=32
+)
+
+
+def small_arrays(max_dims=3, max_side=5):
+    return arrays(
+        dtype=np.float32,
+        shape=array_shapes(min_dims=1, max_dims=max_dims, min_side=1, max_side=max_side),
+        elements=finite_floats,
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_add_zero_identity(data):
+    t = Tensor(data)
+    assert np.allclose((t + 0.0).data, data, atol=1e-6)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_mul_commutes_with_scalar(data):
+    t = Tensor(data)
+    assert np.allclose((t * 2.5).data, (2.5 * t).data)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_double_negation(data):
+    t = Tensor(data)
+    assert np.allclose((-(-t)).data, data)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_relu_idempotent_and_nonnegative(data):
+    t = Tensor(data)
+    once = t.relu()
+    twice = once.relu()
+    assert (once.data >= 0).all()
+    assert np.array_equal(once.data, twice.data)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_softmax_is_distribution(data):
+    if data.ndim < 1:
+        return
+    t = Tensor(data.reshape(1, -1))
+    probs = t.softmax().data
+    assert np.all(probs >= 0)
+    assert np.allclose(probs.sum(axis=-1), 1.0, atol=1e-4)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_sum_grad_is_ones(data):
+    t = Tensor(data, requires_grad=True)
+    t.sum().backward()
+    assert np.allclose(t.grad, 1.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays(), st.floats(min_value=0.1, max_value=5.0))
+def test_linearity_of_gradient(data, scale):
+    t1 = Tensor(data.copy(), requires_grad=True)
+    (t1.sum() * scale).backward()
+    t2 = Tensor(data.copy(), requires_grad=True)
+    t2.sum().backward()
+    assert np.allclose(t1.grad, np.float32(scale) * t2.grad, rtol=1e-4)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_mean_equals_sum_over_count(data):
+    t = Tensor(data)
+    assert np.allclose(t.mean().item(), t.sum().item() / data.size, rtol=1e-4, atol=1e-5)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_clamp_bounds_respected(data):
+    out = Tensor(data).clamp(-1.0, 1.0).data
+    assert out.min() >= -1.0
+    assert out.max() <= 1.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_sigmoid_range_and_symmetry(data):
+    t = Tensor(data)
+    s = t.sigmoid().data
+    assert np.all((s > 0) & (s < 1))
+    s_neg = (-t).sigmoid().data
+    assert np.allclose(s + s_neg, 1.0, atol=1e-5)
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_arrays(max_dims=2))
+def test_reshape_preserves_sum_grad(data):
+    t = Tensor(data, requires_grad=True)
+    t.reshape(-1).sum().backward()
+    assert np.allclose(t.grad, 1.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    arrays(np.float32, (3, 4), elements=finite_floats),
+    arrays(np.float32, (3, 4), elements=finite_floats),
+)
+def test_add_backward_distributes(a, b):
+    ta = Tensor(a, requires_grad=True)
+    tb = Tensor(b, requires_grad=True)
+    (ta + tb).sum().backward()
+    assert np.allclose(ta.grad, 1.0)
+    assert np.allclose(tb.grad, 1.0)

@@ -1,0 +1,72 @@
+"""Property-based tests for optimizer and loss invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.nn import SGD, Parameter, Tensor, cross_entropy
+
+finite = st.floats(min_value=-5.0, max_value=5.0, allow_nan=False, width=32)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    arrays(np.float32, (6,), elements=finite),
+    st.floats(min_value=1e-4, max_value=0.5),
+)
+def test_sgd_step_moves_against_gradient(initial, lr):
+    param = Parameter(initial.copy())
+    opt = SGD([param], lr=lr)
+    (param * param).sum().backward()
+    before = param.data.copy()
+    grad = param.grad.copy()
+    opt.step()
+    # w' = w - lr * grad, exactly, for vanilla SGD.
+    assert np.allclose(param.data, before - np.float32(lr) * grad, atol=1e-6)
+
+
+@settings(max_examples=30, deadline=None)
+@given(arrays(np.float32, (4, 5), elements=finite))
+def test_cross_entropy_nonnegative(logits):
+    labels = np.arange(4) % 5
+    loss = cross_entropy(Tensor(logits), labels)
+    assert loss.item() >= -1e-6
+
+
+@settings(max_examples=30, deadline=None)
+@given(arrays(np.float32, (3, 4), elements=finite))
+def test_cross_entropy_shift_invariance(logits):
+    # Softmax CE is invariant to adding a constant to every logit of a row.
+    labels = np.array([0, 1, 2])
+    base = cross_entropy(Tensor(logits), labels).item()
+    shifted = cross_entropy(Tensor(logits + 3.5), labels).item()
+    assert abs(base - shifted) < 1e-4
+
+
+@settings(max_examples=30, deadline=None)
+@given(arrays(np.float32, (2, 3), elements=finite))
+def test_cross_entropy_grad_rows_sum_to_zero(logits):
+    # dCE/dlogits = softmax - onehot: each row sums to zero.
+    t = Tensor(logits, requires_grad=True)
+    cross_entropy(t, np.array([0, 2]), reduction="sum").backward()
+    assert np.allclose(t.grad.sum(axis=1), 0.0, atol=1e-5)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=1, max_value=40))
+def test_momentum_velocity_bounded_on_constant_gradient(steps):
+    # With grad = 1 and momentum m, velocity converges to 1/(1-m): the
+    # update magnitude must never exceed lr/(1-m) + eps.
+    param = Parameter(np.zeros(1, dtype=np.float32))
+    momentum = 0.9
+    lr = 0.1
+    opt = SGD([param], lr=lr, momentum=momentum)
+    previous = param.data.copy()
+    for _ in range(steps):
+        param.zero_grad()
+        param.sum().backward()  # grad = 1
+        opt.step()
+        delta = abs(float(param.data[0] - previous[0]))
+        assert delta <= lr / (1 - momentum) + 1e-5
+        previous = param.data.copy()

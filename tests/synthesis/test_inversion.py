@@ -1,0 +1,116 @@
+"""Trigger-inversion tests."""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.data import ImageDataset
+from repro.synthesis import (
+    InvertedTrigger,
+    SynthesizedTriggerAttack,
+    detect_backdoor,
+    grad_prune_without_trigger,
+    invert_trigger,
+)
+from repro.core import GradPruneConfig
+from repro.defenses.base import DefenderData
+from repro.data.splits import defender_split
+from tests.conftest import IMAGE_SHAPE
+
+
+class TestInvertTrigger:
+    def test_recovers_flipping_trigger(self, backdoored_tiny_model, tiny_reservoir):
+        trigger = invert_trigger(
+            backdoored_tiny_model, tiny_reservoir, target_class=0, steps=120, seed=0
+        )
+        assert trigger.flip_rate > 0.8
+        assert 0.0 <= trigger.mask.min() and trigger.mask.max() <= 1.0
+        assert 0.0 <= trigger.pattern.min() and trigger.pattern.max() <= 1.0
+        assert trigger.mask.shape == IMAGE_SHAPE[1:]
+        assert trigger.pattern.shape == IMAGE_SHAPE
+
+    def test_mask_l1_recorded(self, backdoored_tiny_model, tiny_reservoir):
+        trigger = invert_trigger(
+            backdoored_tiny_model, tiny_reservoir, target_class=1, steps=60, seed=0
+        )
+        assert trigger.mask_l1 == pytest.approx(float(np.abs(trigger.mask).sum()))
+
+    def test_model_weights_untouched(self, backdoored_tiny_model, tiny_reservoir):
+        before = {k: v.copy() for k, v in backdoored_tiny_model.state_dict().items()}
+        invert_trigger(backdoored_tiny_model, tiny_reservoir, 0, steps=30, seed=0)
+        after = backdoored_tiny_model.state_dict()
+        for key in before:
+            assert np.array_equal(before[key], after[key])
+
+    def test_empty_data_raises(self, backdoored_tiny_model):
+        empty = ImageDataset(np.zeros((0, *IMAGE_SHAPE), dtype=np.float32), np.zeros(0))
+        with pytest.raises(ValueError):
+            invert_trigger(backdoored_tiny_model, empty, 0)
+
+    def test_deterministic_given_seed(self, backdoored_tiny_model, tiny_reservoir):
+        a = invert_trigger(backdoored_tiny_model, tiny_reservoir, 0, steps=40, seed=3)
+        b = invert_trigger(backdoored_tiny_model, tiny_reservoir, 0, steps=40, seed=3)
+        assert np.allclose(a.mask, b.mask)
+        assert np.allclose(a.pattern, b.pattern)
+
+
+class TestInvertedTriggerApply:
+    def test_apply_respects_mask(self):
+        mask = np.zeros((8, 8), dtype=np.float32)
+        mask[0, 0] = 1.0
+        pattern = np.full(IMAGE_SHAPE, 0.9, dtype=np.float32)
+        trigger = InvertedTrigger(0, mask, pattern, 1.0, 0.0)
+        images = np.zeros((2, *IMAGE_SHAPE), dtype=np.float32)
+        out = trigger.apply(images)
+        assert np.allclose(out[:, :, 0, 0], 0.9)
+        assert np.allclose(out[:, :, 1:, :], 0.0)
+
+    def test_synthesized_attack_adapter(self, tiny_test):
+        mask = np.full((8, 8), 0.5, dtype=np.float32)
+        pattern = np.ones(IMAGE_SHAPE, dtype=np.float32)
+        trigger = InvertedTrigger(2, mask, pattern, 32.0, 0.0)
+        attack = SynthesizedTriggerAttack(trigger, image_shape=IMAGE_SHAPE)
+        assert attack.target_class == 2
+        triggered = attack.poisoned_copy(tiny_test)
+        assert np.all(triggered.labels == 2)
+        assert not np.array_equal(triggered.images, tiny_test.images)
+
+
+class TestDetection:
+    def test_detection_structure(self, backdoored_tiny_model, tiny_reservoir):
+        result = detect_backdoor(
+            backdoored_tiny_model, tiny_reservoir, num_classes=3, steps=40, seed=0
+        )
+        assert len(result["triggers"]) == 3
+        assert result["mask_l1"].shape == (3,)
+        assert result["anomaly_index"].shape == (3,)
+        assert isinstance(result["flagged_classes"], list)
+
+
+class TestTriggerFreeDefense:
+    def test_pipeline_runs_with_known_target(
+        self, backdoored_tiny_model, tiny_reservoir, tiny_test, tiny_attack
+    ):
+        model = copy.deepcopy(backdoored_tiny_model)
+        clean_train, clean_val = defender_split(tiny_reservoir, 10, np.random.default_rng(0))
+        data = DefenderData(clean_train, clean_val, attack=None)
+        report, synth = grad_prune_without_trigger(
+            model, data, num_classes=3,
+            config=GradPruneConfig(prune_patience=2, tune_max_epochs=3),
+            inversion_steps=60, target_class=0, seed=0,
+        )
+        assert report.details["synthesized_target"] == 0
+        assert report.details["trigger_flip_rate"] >= 0.0
+        assert isinstance(synth, SynthesizedTriggerAttack)
+
+    def test_pipeline_with_detection(self, backdoored_tiny_model, tiny_reservoir):
+        model = copy.deepcopy(backdoored_tiny_model)
+        clean_train, clean_val = defender_split(tiny_reservoir, 10, np.random.default_rng(1))
+        data = DefenderData(clean_train, clean_val, attack=None)
+        report, _synth = grad_prune_without_trigger(
+            model, data, num_classes=3,
+            config=GradPruneConfig(prune_patience=2, tune_max_epochs=2),
+            inversion_steps=40, seed=0,
+        )
+        assert 0 <= report.details["synthesized_target"] < 3

@@ -1,0 +1,75 @@
+"""CLI tests (fast paths only; experiment runs are covered by benchmarks)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_parses(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_experiment_requires_valid_id(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "table9"])
+
+    def test_attack_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["attack", "unknown_attack"])
+
+    def test_defend_parses_full(self):
+        args = build_parser().parse_args(
+            ["defend", "badnets", "grad_prune", "--spc", "2", "--model", "vgg19_bn"]
+        )
+        assert args.attack_name == "badnets"
+        assert args.defense_name == "grad_prune"
+        assert args.spc == 2
+
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestClaimsCommand:
+    def test_empty_dir_fails_gracefully(self, tmp_path, capsys):
+        assert main(["claims", "--dir", str(tmp_path)]) == 1
+        assert "run the benchmarks" in capsys.readouterr().out
+
+    def test_reads_stored_results(self, tmp_path, capsys):
+        import json
+
+        payload = {
+            "aggregates": [
+                {
+                    "defense": "grad_prune", "spc": 10,
+                    "acc_mean": 0.9, "acc_std": 0.0,
+                    "asr_mean": 0.05, "asr_std": 0.0,
+                    "ra_mean": 0.8, "ra_std": 0.0, "num_trials": 1,
+                },
+                {
+                    "defense": "clp", "spc": 10,
+                    "acc_mean": 0.9, "acc_std": 0.0,
+                    "asr_mean": 0.95, "asr_std": 0.0,
+                    "ra_mean": 0.03, "ra_std": 0.0, "num_trials": 1,
+                },
+            ],
+            "baseline": {"acc": 0.92, "asr": 0.99, "ra": 0.01},
+            "extra": {},
+        }
+        (tmp_path / "table1_badnets.json").write_text(json.dumps(payload))
+        exit_code = main(["claims", "--dir", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert "table1_badnets" in out
+        assert "[PASS]" in out
+        assert exit_code == 0
+
+
+class TestListCommand:
+    def test_list_prints_registries(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "preact_resnet18" in out
+        assert "badnets" in out
+        assert "grad_prune" in out
+        assert "table1" in out

@@ -1,0 +1,58 @@
+"""Example-script smoke tests.
+
+Full example runs take minutes (they train models); these tests verify the
+scripts parse, import, and expose a ``main`` guarded by ``__main__`` so CI
+catches bitrot without paying the training cost.  The quickstart is also
+executed end-to-end in miniature by the integration suite.
+"""
+
+import ast
+import os
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "examples")
+EXAMPLE_FILES = sorted(
+    name for name in os.listdir(EXAMPLES_DIR) if name.endswith(".py")
+)
+
+
+@pytest.mark.parametrize("filename", EXAMPLE_FILES)
+class TestExampleStructure:
+    def test_parses(self, filename):
+        path = os.path.join(EXAMPLES_DIR, filename)
+        with open(path) as handle:
+            tree = ast.parse(handle.read(), filename=filename)
+        assert tree is not None
+
+    def test_has_main_and_guard(self, filename):
+        path = os.path.join(EXAMPLES_DIR, filename)
+        with open(path) as handle:
+            source = handle.read()
+        tree = ast.parse(source)
+        function_names = {n.name for n in ast.walk(tree) if isinstance(n, ast.FunctionDef)}
+        assert "main" in function_names
+        assert '__name__ == "__main__"' in source
+
+    def test_has_module_docstring(self, filename):
+        path = os.path.join(EXAMPLES_DIR, filename)
+        with open(path) as handle:
+            tree = ast.parse(handle.read())
+        assert ast.get_docstring(tree), f"{filename} lacks a docstring"
+
+    def test_imports_resolve(self, filename):
+        # Import the module without triggering main() (the __main__ guard).
+        path = os.path.join(EXAMPLES_DIR, filename)
+        old_argv = sys.argv
+        try:
+            sys.argv = [filename]
+            runpy.run_path(path, run_name="example_import_check")
+        finally:
+            sys.argv = old_argv
+
+
+def test_expected_example_set():
+    assert "quickstart.py" in EXAMPLE_FILES
+    assert len(EXAMPLE_FILES) >= 3  # the deliverable floor; we ship more

@@ -1,0 +1,56 @@
+"""Tests for seeding and logging utilities."""
+
+import logging
+
+import numpy as np
+import pytest
+
+from repro.utils import Timer, derive_seed, get_logger, make_rng, seed_sequence
+
+
+class TestSeeding:
+    def test_derive_seed_deterministic(self):
+        assert derive_seed(42, "attack", 1) == derive_seed(42, "attack", 1)
+
+    def test_derive_seed_varies_with_labels(self):
+        assert derive_seed(42, "a") != derive_seed(42, "b")
+
+    def test_seed_sequence_count_and_uniqueness(self):
+        seeds = list(seed_sequence(0, 10))
+        assert len(seeds) == 10
+        assert len(set(seeds)) == 10
+
+    def test_seed_sequence_reproducible(self):
+        assert list(seed_sequence(5, 4)) == list(seed_sequence(5, 4))
+
+    def test_make_rng(self):
+        a = make_rng(3).random(4)
+        b = make_rng(3).random(4)
+        assert np.array_equal(a, b)
+
+
+class TestLogging:
+    def test_get_logger_singleton_handler(self):
+        a = get_logger("repro.test")
+        b = get_logger("repro.test2")
+        root = logging.getLogger("repro")
+        assert len(root.handlers) == 1
+        assert a.name == "repro.test"
+        assert b.name == "repro.test2"
+
+    def test_timer_measures(self):
+        with Timer() as timer:
+            sum(range(1000))
+        assert timer.elapsed >= 0.0
+
+    def test_timer_logs_with_label(self, caplog):
+        # The library logger does not propagate to root (by design), so the
+        # capture handler must be attached to it directly.
+        logger = get_logger("repro.timer_test")
+        logger.addHandler(caplog.handler)
+        try:
+            with Timer("step", logger=logger):
+                pass
+        finally:
+            logger.removeHandler(caplog.handler)
+        assert any("step took" in r.message for r in caplog.records)
