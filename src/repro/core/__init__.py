@@ -3,6 +3,7 @@
 from .ablation import SCORING_STRATEGIES, prune_by_strategy, rank_filters
 from .analysis import pruned_vs_kept_sensitivity, pruning_depth_profile, trigger_sensitivity
 from .defense import GradPruneConfig, GradPruneDefense
+from .evaluator import FusedEvalReport, FusedEvaluator
 from .pruner import GradientPruner, PruningHistory, PruningRound
 from .scoring import compute_filter_scores, filter_scores_from_grads, top_filter
 from .tuner import FineTuneHistory, FineTuner
@@ -14,6 +15,8 @@ __all__ = [
     "filter_scores_from_grads",
     "compute_filter_scores",
     "top_filter",
+    "FusedEvaluator",
+    "FusedEvalReport",
     "GradientPruner",
     "PruningHistory",
     "PruningRound",

@@ -11,26 +11,38 @@ The loop stops when the validation clean accuracy falls below the threshold
 ``alpha`` (the offending prune is rolled back) or when the validation
 unlearning loss fails to improve for ``patience`` (= the paper's ``P_p``)
 consecutive rounds.
+
+Both per-round validation metrics come from one fused forward sweep
+(:class:`repro.core.evaluator.FusedEvaluator`) over a conv–BN-folded
+compiled view of the model; each :class:`PruningRound` records how long its
+scoring backward and validation sweep took, so bench runs can attribute
+wall time.  ``REPRO_DISABLE_FAST_PATH=1`` (or ``use_fast_path=False``)
+restores the reference two-pass evaluation.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import List, Optional
 
 from ..data.dataset import ImageDataset
 from ..models.pruning_utils import FilterRef, PruningMask
 from ..nn.module import Module
-from ..training import evaluate_accuracy
+from .evaluator import FusedEvaluator
 from .scoring import compute_filter_scores, top_filter
-from .unlearning import unlearning_loss_value
 
 __all__ = ["PruningRound", "PruningHistory", "GradientPruner"]
 
 
 @dataclass
 class PruningRound:
-    """Telemetry of one pruning round."""
+    """Telemetry of one pruning round.
+
+    ``score_seconds`` is the Eq. 3 scoring pass (unlearning-loss backward on
+    the defender's training backdoor set); ``eval_seconds`` is the fused
+    validation sweep driving the stopping rule.
+    """
 
     round_index: int
     pruned: FilterRef
@@ -38,6 +50,8 @@ class PruningRound:
     val_unlearning_loss: float
     val_accuracy: float
     rolled_back: bool = False
+    score_seconds: float = 0.0
+    eval_seconds: float = 0.0
 
 
 @dataclass
@@ -48,10 +62,20 @@ class PruningHistory:
     initial_val_accuracy: float = float("nan")
     initial_val_loss: float = float("nan")
     stop_reason: str = ""
+    initial_eval_seconds: float = 0.0
+    num_folded_layers: int = 0
 
     @property
     def num_pruned(self) -> int:
         return sum(1 for r in self.rounds if not r.rolled_back)
+
+    @property
+    def total_score_seconds(self) -> float:
+        return sum(r.score_seconds for r in self.rounds)
+
+    @property
+    def total_eval_seconds(self) -> float:
+        return self.initial_eval_seconds + sum(r.eval_seconds for r in self.rounds)
 
 
 class GradientPruner:
@@ -74,6 +98,11 @@ class GradientPruner:
         by the filter count).
     batch_size:
         Batch size for loss/score computation.
+    use_fast_path:
+        Evaluate the stopping rule through the fused conv–BN-folded
+        inference path.  Scores (Eq. 3) always use the reference autograd
+        path; only the no-grad validation sweeps are accelerated, so results
+        agree with the reference within float32 tolerance.
     """
 
     def __init__(
@@ -83,6 +112,7 @@ class GradientPruner:
         patience: int = 10,
         max_rounds: Optional[int] = None,
         batch_size: int = 128,
+        use_fast_path: bool = True,
     ) -> None:
         if alpha is not None and not 0.0 <= alpha <= 1.0:
             raise ValueError(f"alpha must be in [0, 1], got {alpha}")
@@ -95,6 +125,7 @@ class GradientPruner:
         self.patience = patience
         self.max_rounds = max_rounds
         self.batch_size = batch_size
+        self.use_fast_path = use_fast_path
 
     def prune(
         self,
@@ -111,8 +142,18 @@ class GradientPruner:
         """
         mask = mask if mask is not None else PruningMask(model)
         history = PruningHistory()
-        history.initial_val_accuracy = evaluate_accuracy(model, clean_val, self.batch_size)
-        history.initial_val_loss = unlearning_loss_value(model, backdoor_val, self.batch_size)
+        evaluator = FusedEvaluator(
+            model,
+            clean_val,
+            backdoor_val,
+            batch_size=self.batch_size,
+            use_fast_path=self.use_fast_path,
+        )
+        initial = evaluator.evaluate()
+        history.initial_val_accuracy = initial.accuracy
+        history.initial_val_loss = initial.unlearning_loss
+        history.initial_eval_seconds = initial.seconds
+        history.num_folded_layers = evaluator.num_folded
         alpha = self.alpha
         if alpha is None:
             alpha = max(0.0, history.initial_val_accuracy - self.max_acc_drop)
@@ -123,24 +164,29 @@ class GradientPruner:
         max_rounds = self.max_rounds if self.max_rounds is not None else float("inf")
 
         while round_index < max_rounds:
+            score_start = time.perf_counter()
             pruned_set = set(mask.pruned_refs)
             scores, _train_loss = compute_filter_scores(
                 model, backdoor_train, exclude=pruned_set, batch_size=self.batch_size
             )
+            score_seconds = time.perf_counter() - score_start
             if not scores:
                 history.stop_reason = "no prunable filters remain"
                 break
             target = top_filter(scores)
             saved = mask.prune(target)
 
-            val_loss = unlearning_loss_value(model, backdoor_val, self.batch_size)
-            val_acc = evaluate_accuracy(model, clean_val, self.batch_size)
+            report = evaluator.evaluate()
+            val_loss = report.unlearning_loss
+            val_acc = report.accuracy
             record = PruningRound(
                 round_index=round_index,
                 pruned=target,
                 score=scores[target],
                 val_unlearning_loss=val_loss,
                 val_accuracy=val_acc,
+                score_seconds=score_seconds,
+                eval_seconds=report.seconds,
             )
 
             if val_acc < alpha:

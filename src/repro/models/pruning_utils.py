@@ -17,6 +17,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
+from ..nn.inference import invalidate_compiled
 from ..nn.layers import Conv2d
 from ..nn.module import Module
 
@@ -70,6 +71,7 @@ def prune_filter(model: Module, ref: FilterRef) -> Dict[str, np.ndarray]:
     conv = _get_conv(model, ref.layer)
     if not 0 <= ref.index < conv.out_channels:
         raise IndexError(f"filter index {ref.index} out of range for {ref.layer}")
+    invalidate_compiled(model)  # folded eval weights are stale once we mutate
     saved = {"weight": conv.weight.data[ref.index].copy()}
     conv.weight.data[ref.index] = 0.0
     if conv.bias is not None:
@@ -81,6 +83,7 @@ def prune_filter(model: Module, ref: FilterRef) -> Dict[str, np.ndarray]:
 def restore_filter(model: Module, ref: FilterRef, saved: Dict[str, np.ndarray]) -> None:
     """Undo :func:`prune_filter` using its returned snapshot."""
     conv = _get_conv(model, ref.layer)
+    invalidate_compiled(model)
     conv.weight.data[ref.index] = saved["weight"]
     if conv.bias is not None and "bias" in saved:
         conv.bias.data[ref.index] = saved["bias"]
@@ -123,6 +126,7 @@ class PruningMask:
 
     def apply(self) -> None:
         """Re-zero every pruned filter (call after each optimizer step)."""
+        invalidate_compiled(self._model)
         convs = dict(iter_conv_layers(self._model))
         for layer, indices in self._pruned.items():
             conv = convs[layer]

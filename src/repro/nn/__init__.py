@@ -32,6 +32,8 @@ from .sam import SAM
 from .scheduler import CosineAnnealingLR, MultiStepLR, StepLR
 from .serialization import load_module, load_state, save_module, save_state
 from . import functional
+from .functional import Workspace, fast_path_enabled, workspace
+from .inference import CompiledInference, compile_for_inference, invalidate_compiled
 
 __all__ = [
     "Tensor",
@@ -76,4 +78,10 @@ __all__ = [
     "save_module",
     "load_module",
     "functional",
+    "Workspace",
+    "workspace",
+    "fast_path_enabled",
+    "CompiledInference",
+    "compile_for_inference",
+    "invalidate_compiled",
 ]

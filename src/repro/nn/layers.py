@@ -180,8 +180,13 @@ class BatchNorm2d(Module):
         self.bias = Parameter(init.zeros((num_features,)))
         self.register_buffer("running_mean", init.zeros((num_features,)))
         self.register_buffer("running_var", init.ones((num_features,)))
+        # Set by repro.nn.inference while this layer's scale/shift are folded
+        # into the preceding convolution; the layer then acts as identity.
+        self._folded_passthrough = False
 
     def forward(self, x: Tensor) -> Tensor:
+        if self._folded_passthrough and not self.training:
+            return x
         if self.training:
             out, batch_mean, batch_var = F.batch_norm2d_train(x, self.weight, self.bias, self.eps)
             count = x.data.shape[0] * x.data.shape[2] * x.data.shape[3]

@@ -328,14 +328,14 @@ class Tensor:
     def clamp(self, min_value: Optional[float] = None, max_value: Optional[float] = None) -> "Tensor":
         """Clip values to ``[min_value, max_value]``; gradient is a pass-through mask."""
         out_data = np.clip(self.data, min_value, max_value)
-        mask = np.ones_like(self.data)
-        if min_value is not None:
-            mask = mask * (self.data >= min_value)
-        if max_value is not None:
-            mask = mask * (self.data <= max_value)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
+                mask = np.ones_like(self.data)
+                if min_value is not None:
+                    mask = mask * (self.data >= min_value)
+                if max_value is not None:
+                    mask = mask * (self.data <= max_value)
                 self._accumulate(grad * mask)
 
         return Tensor._make(out_data, (self,), backward)
@@ -472,21 +472,22 @@ class Tensor:
     # Nonlinearities (kept here because they are single-input elementwise)
     # ------------------------------------------------------------------
     def relu(self) -> "Tensor":
+        # The backward mask is derived lazily from ``self.data`` so no-grad
+        # inference pays for exactly one allocation (the output).
         out_data = np.maximum(self.data, 0.0)
-        mask = self.data > 0.0
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(grad * mask)
+                self._accumulate(grad * (self.data > 0.0))
 
         return Tensor._make(out_data, (self,), backward)
 
     def leaky_relu(self, negative_slope: float = 0.01) -> "Tensor":
         out_data = np.where(self.data > 0.0, self.data, self.data * negative_slope)
-        scale = np.where(self.data > 0.0, 1.0, negative_slope).astype(self.data.dtype)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
+                scale = np.where(self.data > 0.0, 1.0, negative_slope).astype(self.data.dtype)
                 self._accumulate(grad * scale)
 
         return Tensor._make(out_data, (self,), backward)
@@ -518,10 +519,10 @@ class Tensor:
     def hard_sigmoid(self) -> "Tensor":
         """ReLU6(x + 3) / 6 — MobileNetV3's h-sigmoid."""
         out_data = np.clip(self.data + 3.0, 0.0, 6.0) / 6.0
-        mask = ((self.data > -3.0) & (self.data < 3.0)).astype(self.data.dtype) / 6.0
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
+                mask = ((self.data > -3.0) & (self.data < 3.0)).astype(self.data.dtype) / 6.0
                 self._accumulate(grad * mask)
 
         return Tensor._make(out_data, (self,), backward)
@@ -530,11 +531,11 @@ class Tensor:
         """x * h-sigmoid(x) — MobileNetV3's h-swish."""
         hsig = np.clip(self.data + 3.0, 0.0, 6.0) / 6.0
         out_data = self.data * hsig
-        inner = ((self.data > -3.0) & (self.data < 3.0)).astype(self.data.dtype) / 6.0
-        local = hsig + self.data * inner
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
+                inner = ((self.data > -3.0) & (self.data < 3.0)).astype(self.data.dtype) / 6.0
+                local = hsig + self.data * inner
                 self._accumulate(grad * local)
 
         return Tensor._make(out_data, (self,), backward)
@@ -543,10 +544,10 @@ class Tensor:
         """x * sigmoid(x) — the swish used by EfficientNet."""
         sig = 1.0 / (1.0 + np.exp(-self.data))
         out_data = self.data * sig
-        local = sig * (1.0 + self.data * (1.0 - sig))
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
+                local = sig * (1.0 + self.data * (1.0 - sig))
                 self._accumulate(grad * local)
 
         return Tensor._make(out_data, (self,), backward)
@@ -555,10 +556,10 @@ class Tensor:
         shifted = self.data - self.data.max(axis=axis, keepdims=True)
         log_sum = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
         out_data = shifted - log_sum
-        softmax = np.exp(out_data)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
+                softmax = np.exp(out_data)
                 self._accumulate(grad - softmax * grad.sum(axis=axis, keepdims=True))
 
         return Tensor._make(out_data, (self,), backward)

@@ -106,8 +106,14 @@ def train_classifier(
     return result
 
 
-def predict(model: Module, images: np.ndarray, batch_size: int = 128) -> np.ndarray:
-    """Predicted class indices for a batch of images (eval mode, no grad)."""
+def predict(model, images: np.ndarray, batch_size: int = 128) -> np.ndarray:
+    """Predicted class indices for a batch of images (eval mode, no grad).
+
+    ``model`` may be any callable exposing ``eval()`` — a plain
+    :class:`~repro.nn.module.Module` or a
+    :class:`repro.nn.inference.CompiledInference` view (conv–BN folded).
+    Plain modules still get the kernel-level no-grad fast path automatically.
+    """
     model.eval()
     outputs = []
     with no_grad():
@@ -117,8 +123,11 @@ def predict(model: Module, images: np.ndarray, batch_size: int = 128) -> np.ndar
     return np.concatenate(outputs) if outputs else np.empty(0, dtype=np.int64)
 
 
-def evaluate_accuracy(model: Module, dataset: ImageDataset, batch_size: int = 128) -> float:
-    """Classification accuracy of ``model`` on ``dataset``."""
+def evaluate_accuracy(model, dataset: ImageDataset, batch_size: int = 128) -> float:
+    """Classification accuracy of ``model`` on ``dataset``.
+
+    Accepts the same model-or-compiled-view duck type as :func:`predict`.
+    """
     if len(dataset) == 0:
         raise ValueError("cannot evaluate on an empty dataset")
     predictions = predict(model, dataset.images, batch_size=batch_size)
