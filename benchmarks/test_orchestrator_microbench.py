@@ -1,0 +1,97 @@
+"""Orchestrator microbenchmark: serial vs ``--workers 4`` wall-clock.
+
+Runs the same quick-profile Table I slice twice from cold caches — once
+through the serial :func:`run_experiment` path and once through the
+orchestrator with four worker processes — checks the aggregates are
+numerically identical, and records both wall-clock times in
+``benchmarks/out/BENCH_orchestrator.json`` (registered next to
+``BENCH_engine.json`` from the engine microbench).
+
+Read the speedup together with ``cpu_count`` in the JSON: on a single-core
+box the parallel path can only tie at best (it still pays fork +
+scheduling overhead); the number documents the orchestration tax, while
+multi-core machines see the actual scale-out.
+"""
+
+import dataclasses
+import json
+import os
+import time
+
+from conftest import OUT_DIR
+
+from repro.eval import BenchmarkRunner, ScenarioCache, TrialCache, run_experiment
+from repro.eval.experiments import QUICK_PROFILE, ExperimentSpec
+from repro.orchestrator import Orchestrator, OrchestratorConfig
+from repro.orchestrator.orchestrator import build_experiment_dag
+
+WORKERS = 4
+
+
+def _slice_spec():
+    profile = dataclasses.replace(
+        QUICK_PROFILE,
+        name="quick-slice",
+        n_train=500,
+        n_test=150,
+        n_reservoir=300,
+        train_epochs=3,
+        spc_values=(2,),
+        num_trials=2,
+    )
+    return ExperimentSpec(
+        "table1", "Table I slice (orchestrator microbench)",
+        "synth_cifar", ("preact_resnet18",), ("badnets",), ("clp", "ft"), profile,
+    )
+
+
+def test_orchestrator_vs_serial(tmp_path):
+    spec = _slice_spec()
+
+    serial_runner = BenchmarkRunner(
+        cache=ScenarioCache(str(tmp_path / "serial_models")),
+        trial_cache=TrialCache(str(tmp_path / "serial_trials")),
+        verbose=False,
+    )
+    start = time.perf_counter()
+    serial = run_experiment(spec, runner=serial_runner)
+    serial_s = time.perf_counter() - start
+
+    orchestrator = Orchestrator(
+        OrchestratorConfig(
+            workers=WORKERS,
+            run_dir=str(tmp_path / "run"),
+            model_cache_dir=str(tmp_path / "orch_models"),
+            trial_cache_dir=str(tmp_path / "orch_trials"),
+            verbose=False,
+        )
+    )
+    start = time.perf_counter()
+    orchestrated = orchestrator.run(spec)
+    orchestrated_s = time.perf_counter() - start
+
+    assert orchestrated.ok
+    serial_aggs = serial.results["preact_resnet18"]["badnets"]
+    orch_aggs = orchestrated.experiment.results["preact_resnet18"]["badnets"]
+    assert len(serial_aggs) == len(orch_aggs)
+    for ours, theirs in zip(orch_aggs, serial_aggs):
+        assert (ours.defense, ours.spc) == (theirs.defense, theirs.spc)
+        assert (ours.acc_mean, ours.asr_mean, ours.ra_mean) == (
+            theirs.acc_mean, theirs.asr_mean, theirs.ra_mean,
+        )
+
+    payload = {
+        "experiment": spec.experiment_id,
+        "profile": spec.profile.name,
+        "tasks": len(build_experiment_dag(spec)),
+        "workers": WORKERS,
+        "cpu_count": os.cpu_count(),
+        "serial_s": round(serial_s, 3),
+        "orchestrated_s": round(orchestrated_s, 3),
+        "speedup": round(serial_s / orchestrated_s, 3),
+        "orchestrated_reused": orchestrated.reused,
+    }
+    os.makedirs(OUT_DIR, exist_ok=True)
+    with open(os.path.join(OUT_DIR, "BENCH_orchestrator.json"), "w") as handle:
+        json.dump(payload, handle, indent=2)
+    assert payload["speedup"] > 0

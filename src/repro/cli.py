@@ -6,6 +6,8 @@ Examples::
     python -m repro demo --fast                  # quickstart pipeline
     python -m repro experiment table1            # regenerate a paper table
     python -m repro experiment figure2 --models preact_resnet18
+    python -m repro orchestrate table1 --workers 4    # parallel, fault-tolerant
+    python -m repro orchestrate table1 --workers 4 --resume   # finish a crashed run
     python -m repro attack badnets --model vgg19_bn   # train + report baseline
 """
 
@@ -25,6 +27,7 @@ from .eval import (
     run_experiment,
 )
 from .models import MODEL_NAMES
+from .orchestrator import Orchestrator, OrchestratorConfig
 
 __all__ = ["main", "build_parser"]
 
@@ -50,6 +53,39 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--attacks", nargs="+", default=None)
     experiment.add_argument("--models", nargs="+", default=None)
     experiment.add_argument("--seed", type=int, default=0)
+
+    orchestrate = sub.add_parser(
+        "orchestrate",
+        help="run an experiment grid on a parallel, fault-tolerant, resumable worker pool",
+    )
+    orchestrate.add_argument(
+        "experiment_id",
+        choices=[e for e in EXPERIMENT_IDS if e.startswith(("table", "figure"))],
+    )
+    orchestrate.add_argument("--profile", choices=("quick", "paper"), default=None)
+    orchestrate.add_argument("--attacks", nargs="+", default=None)
+    orchestrate.add_argument("--models", nargs="+", default=None)
+    orchestrate.add_argument("--seed", type=int, default=0)
+    orchestrate.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes (default: CPU count; 0 = run inline)",
+    )
+    orchestrate.add_argument(
+        "--resume", action="store_true",
+        help="replay the run ledger and re-run only incomplete tasks",
+    )
+    orchestrate.add_argument(
+        "--task-timeout", type=float, default=None,
+        help="per-task wall-clock limit in seconds (workers >= 1 only)",
+    )
+    orchestrate.add_argument(
+        "--max-retries", type=int, default=2,
+        help="retries per task before its cell is marked failed",
+    )
+    orchestrate.add_argument(
+        "--run-dir", default=None,
+        help="ledger directory (default: derived from the grid under the cache dir)",
+    )
 
     attack = sub.add_parser("attack", help="train one backdoored model and report baseline metrics")
     attack.add_argument("attack_name", choices=sorted(ATTACK_REGISTRY))
@@ -114,6 +150,33 @@ def _cmd_experiment(args) -> int:
     )
     print(result.table_text())
     return 0
+
+
+def _cmd_orchestrate(args) -> int:
+    import os
+
+    spec = experiment_spec(args.experiment_id, profile=args.profile)
+    workers = args.workers if args.workers is not None else (os.cpu_count() or 1)
+    orchestrator = Orchestrator(
+        OrchestratorConfig(
+            workers=workers,
+            task_timeout=args.task_timeout,
+            max_retries=args.max_retries,
+            run_dir=args.run_dir,
+            resume=args.resume,
+        )
+    )
+    result = orchestrator.run(
+        spec,
+        attacks=tuple(args.attacks) if args.attacks else None,
+        models=tuple(args.models) if args.models else None,
+        root_seed=args.seed,
+    )
+    table = result.table_text()
+    if table:
+        print(table)
+    print(result.summary())
+    return 0 if result.ok else 1
 
 
 def _scenario(args, attack_name: str) -> ScenarioConfig:
@@ -182,6 +245,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_demo(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
+    if args.command == "orchestrate":
+        return _cmd_orchestrate(args)
     if args.command == "attack":
         return _cmd_attack(args)
     if args.command == "defend":

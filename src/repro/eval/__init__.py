@@ -10,6 +10,7 @@ from .experiments import (
     experiment_spec,
     get_profile,
     run_experiment,
+    scenario_configs,
 )
 from .metrics import (
     BackdoorMetrics,
@@ -69,4 +70,5 @@ __all__ = [
     "experiment_spec",
     "get_profile",
     "run_experiment",
+    "scenario_configs",
 ]

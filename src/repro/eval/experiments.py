@@ -34,6 +34,7 @@ __all__ = [
     "ExperimentResult",
     "get_profile",
     "experiment_spec",
+    "scenario_configs",
     "run_experiment",
     "EXPERIMENT_IDS",
 ]
@@ -206,32 +207,26 @@ def experiment_spec(experiment_id: str, profile: Optional[str] = None) -> Experi
     raise KeyError(f"unknown experiment {experiment_id!r}; choose from {EXPERIMENT_IDS}")
 
 
-def run_experiment(
+def scenario_configs(
     spec: ExperimentSpec,
-    runner: Optional[BenchmarkRunner] = None,
     attacks: Optional[Tuple[str, ...]] = None,
     models: Optional[Tuple[str, ...]] = None,
     root_seed: int = 0,
-) -> ExperimentResult:
-    """Execute (a slice of) an experiment grid.
+) -> List[Tuple[str, str, ScenarioConfig]]:
+    """Resolve the (model, attack) cells of a grid to concrete configs.
 
-    ``attacks`` / ``models`` restrict the grid — the per-attack benchmark
-    functions use this so each pytest-benchmark entry covers one attack.
+    This is the single source of truth for scenario construction: the
+    serial :func:`run_experiment` path and the orchestrator's DAG builder
+    both call it, so their ``ScenarioConfig.fingerprint()`` values — and
+    therefore their cached artifacts — are identical by construction.
     """
-    runner = runner or BenchmarkRunner(verbose=True)
     prof = spec.profile
-    models = models or spec.models
-    attacks = attacks or spec.attacks
     num_classes = (
         prof.num_classes_cifar if spec.dataset == "synth_cifar" else prof.num_classes_gtsrb
     )
-
-    results: Dict[str, Dict[str, List[AggregateResult]]] = {}
-    baselines: Dict[str, Dict[str, BackdoorMetrics]] = {}
-    for model in models:
-        results[model] = {}
-        baselines[model] = {}
-        for attack in attacks:
+    cells: List[Tuple[str, str, ScenarioConfig]] = []
+    for model in models or spec.models:
+        for attack in attacks or spec.attacks:
             config_kwargs = dict(
                 dataset=spec.dataset,
                 model=model,
@@ -248,15 +243,38 @@ def run_experiment(
             attack_kwargs.update(prof.attack_overrides.get(f"{model}:{attack}", {}))
             if attack_kwargs:
                 config_kwargs["attack_kwargs"] = tuple(sorted(attack_kwargs.items()))
-            config = ScenarioConfig(**config_kwargs)
-            scenario = runner.prepare(config)
-            baselines[model][attack] = scenario.baseline
-            results[model][attack] = runner.run_grid(
-                scenario,
-                defenses=list(spec.defenses),
-                spc_values=list(prof.spc_values),
-                num_trials=prof.num_trials,
-                defense_kwargs=prof.defense_kwargs,
-                root_seed=root_seed,
-            )
+            cells.append((model, attack, ScenarioConfig(**config_kwargs)))
+    return cells
+
+
+def run_experiment(
+    spec: ExperimentSpec,
+    runner: Optional[BenchmarkRunner] = None,
+    attacks: Optional[Tuple[str, ...]] = None,
+    models: Optional[Tuple[str, ...]] = None,
+    root_seed: int = 0,
+) -> ExperimentResult:
+    """Execute (a slice of) an experiment grid.
+
+    ``attacks`` / ``models`` restrict the grid — the per-attack benchmark
+    functions use this so each pytest-benchmark entry covers one attack.
+    """
+    runner = runner or BenchmarkRunner(verbose=True)
+    prof = spec.profile
+
+    results: Dict[str, Dict[str, List[AggregateResult]]] = {}
+    baselines: Dict[str, Dict[str, BackdoorMetrics]] = {}
+    for model, attack, config in scenario_configs(spec, attacks, models, root_seed):
+        results.setdefault(model, {})
+        baselines.setdefault(model, {})
+        scenario = runner.prepare(config)
+        baselines[model][attack] = scenario.baseline
+        results[model][attack] = runner.run_grid(
+            scenario,
+            defenses=list(spec.defenses),
+            spc_values=list(prof.spc_values),
+            num_trials=prof.num_trials,
+            defense_kwargs=prof.defense_kwargs,
+            root_seed=root_seed,
+        )
     return ExperimentResult(spec=spec, results=results, baselines=baselines)

@@ -32,7 +32,7 @@ from ..defenses import build_defense
 from ..defenses.base import DefenderData
 from ..models import build_model
 from ..nn.module import Module
-from ..nn.serialization import load_state, save_state
+from ..orchestrator.artifacts import ArtifactStore
 from ..training import TrainConfig
 from ..utils.logging import get_logger
 from .budget import DefenderBudget, budget_trials
@@ -151,28 +151,34 @@ class AggregateResult:
 
 
 class ScenarioCache:
-    """Disk cache of backdoored models keyed by scenario fingerprint."""
+    """Disk cache of backdoored models keyed by scenario fingerprint.
+
+    Backed by :class:`~repro.orchestrator.artifacts.ArtifactStore`: writes
+    are atomic and loads are checksum-verified, so a worker killed
+    mid-write (or a corrupted disk) yields a cache miss and a retrain, not
+    a crash or a silently wrong model.
+    """
 
     def __init__(self, directory: Optional[str] = None) -> None:
         default = os.path.join(
             os.environ.get("REPRO_CACHE_DIR", os.path.expanduser("~/.cache/repro")), "models"
         )
         self.directory = directory or default
-        os.makedirs(self.directory, exist_ok=True)
+        self.artifacts = ArtifactStore(self.directory)
 
     def path(self, config: ScenarioConfig) -> str:
-        return os.path.join(self.directory, f"{config.fingerprint()}.npz")
+        return self.artifacts.path(config.fingerprint(), ".npz")
 
     def load(self, config: ScenarioConfig, model: Module) -> bool:
         """Load cached weights into ``model``; returns False on miss."""
-        path = self.path(config)
-        if not os.path.exists(path):
+        state = self.artifacts.get_state(config.fingerprint())
+        if state is None:
             return False
-        model.load_state_dict(load_state(path))
+        model.load_state_dict(state)
         return True
 
     def store(self, config: ScenarioConfig, model: Module) -> None:
-        save_state(model.state_dict(), self.path(config))
+        self.artifacts.put_state(config.fingerprint(), model.state_dict())
 
 
 class TrialCache:
@@ -190,7 +196,7 @@ class TrialCache:
             os.environ.get("REPRO_CACHE_DIR", os.path.expanduser("~/.cache/repro")), "trials"
         )
         self.directory = directory or default
-        os.makedirs(self.directory, exist_ok=True)
+        self.artifacts = ArtifactStore(self.directory)
 
     @staticmethod
     def key(
@@ -209,19 +215,16 @@ class TrialCache:
         return hashlib.sha256(payload.encode()).hexdigest()[:20]
 
     def _path(self, key: str) -> str:
-        return os.path.join(self.directory, f"{key}.json")
+        return self.artifacts.path(key, ".json")
 
     def load(self, key: str) -> Optional[BackdoorMetrics]:
-        path = self._path(key)
-        if not os.path.exists(path):
+        data = self.artifacts.get_json(key)
+        if data is None:
             return None
-        with open(path) as handle:
-            data = json.load(handle)
         return BackdoorMetrics(acc=data["acc"], asr=data["asr"], ra=data["ra"])
 
     def store(self, key: str, metrics: BackdoorMetrics) -> None:
-        with open(self._path(key), "w") as handle:
-            json.dump({"acc": metrics.acc, "asr": metrics.asr, "ra": metrics.ra}, handle)
+        self.artifacts.put_json(key, {"acc": metrics.acc, "asr": metrics.asr, "ra": metrics.ra})
 
 
 def _build_dataset(config: ScenarioConfig) -> Tuple[ImageDataset, ImageDataset, ImageDataset]:

@@ -30,7 +30,7 @@ from .losses import cross_entropy, kl_div_loss, mse_loss, nll_loss, soft_cross_e
 from .optim import SGD, Adam, AdamW, Optimizer
 from .sam import SAM
 from .scheduler import CosineAnnealingLR, MultiStepLR, StepLR
-from .serialization import load_module, load_state, save_module, save_state
+from .serialization import CheckpointError, load_module, load_state, save_module, save_state
 from . import functional
 from .functional import Workspace, fast_path_enabled, workspace
 from .inference import CompiledInference, compile_for_inference, invalidate_compiled
@@ -73,6 +73,7 @@ __all__ = [
     "StepLR",
     "MultiStepLR",
     "CosineAnnealingLR",
+    "CheckpointError",
     "save_state",
     "load_state",
     "save_module",

@@ -1,0 +1,160 @@
+"""Unified content-addressed artifact store with atomic, integrity-checked IO.
+
+Every expensive product of the pipeline — backdoored-model checkpoints,
+per-trial metrics, aggregates — is stored under a key that is itself a
+content hash of the *inputs* that produced it (``ScenarioConfig.fingerprint``,
+``TrialCache.key``), so identical work is never redone.  On top of that
+addressing scheme the store records a sha256 digest of each artifact's own
+bytes in a ``.sha256`` sidecar and verifies it on load: a corrupt file (e.g.
+from a worker killed mid-write, disk trouble, or a partial copy) is detected,
+removed, and reported as a miss instead of poisoning later runs.
+
+All writes are atomic (temporary file in the same directory, then
+``os.replace``).  Files written by older versions of the code have no
+sidecar and are loaded unverified for backward compatibility.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..nn.serialization import CheckpointError, load_state, save_state
+from ..utils.logging import get_logger
+
+__all__ = ["ArtifactStore", "content_hash"]
+
+_LOG = get_logger("repro.orchestrator.artifacts")
+
+
+def content_hash(payload) -> str:
+    """Stable sha256 hex digest of a JSON-serializable payload."""
+    encoded = json.dumps(payload, sort_keys=True, default=str).encode()
+    return hashlib.sha256(encoded).hexdigest()
+
+
+def _file_sha256(path: str) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def _atomic_write_text(path: str, text: str) -> None:
+    tmp = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "w") as handle:
+            handle.write(text)
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):
+            os.remove(tmp)
+
+
+class ArtifactStore:
+    """Keyed artifact directory with atomic writes and checksummed loads.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the artifacts (created on demand).
+    verify:
+        When True (default), loads recompute the file digest and compare it
+        against the sidecar; mismatches are treated as misses and the bad
+        files removed.
+    """
+
+    def __init__(self, root: str, verify: bool = True) -> None:
+        self.root = root
+        self.verify = verify
+        os.makedirs(self.root, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+    def path(self, key: str, suffix: str) -> str:
+        return os.path.join(self.root, f"{key}{suffix}")
+
+    def _sidecar(self, path: str) -> str:
+        return f"{path}.sha256"
+
+    def has(self, key: str, suffix: str) -> bool:
+        return os.path.exists(self.path(key, suffix))
+
+    # ------------------------------------------------------------------
+    # Integrity
+    # ------------------------------------------------------------------
+    def _seal(self, path: str) -> None:
+        """Record the artifact's digest after the data file is in place."""
+        _atomic_write_text(self._sidecar(path), _file_sha256(path))
+
+    def _check(self, path: str) -> bool:
+        """True if ``path`` matches its sidecar (or has none — legacy file)."""
+        sidecar = self._sidecar(path)
+        if not self.verify or not os.path.exists(sidecar):
+            return True
+        with open(sidecar) as handle:
+            expected = handle.read().strip()
+        return _file_sha256(path) == expected
+
+    def _drop_corrupt(self, path: str, reason: str) -> None:
+        _LOG.warning("dropping corrupt artifact %s (%s)", path, reason)
+        for victim in (path, self._sidecar(path)):
+            if os.path.exists(victim):
+                os.remove(victim)
+
+    def delete(self, key: str, suffix: str) -> None:
+        path = self.path(key, suffix)
+        for victim in (path, self._sidecar(path)):
+            if os.path.exists(victim):
+                os.remove(victim)
+
+    # ------------------------------------------------------------------
+    # npz state dicts
+    # ------------------------------------------------------------------
+    def put_state(self, key: str, state: Dict[str, np.ndarray]) -> str:
+        path = self.path(key, ".npz")
+        save_state(state, path)
+        self._seal(path)
+        return path
+
+    def get_state(self, key: str) -> Optional[Dict[str, np.ndarray]]:
+        path = self.path(key, ".npz")
+        if not os.path.exists(path):
+            return None
+        if not self._check(path):
+            self._drop_corrupt(path, "checksum mismatch")
+            return None
+        try:
+            return load_state(path)
+        except CheckpointError as exc:
+            self._drop_corrupt(path, str(exc))
+            return None
+
+    # ------------------------------------------------------------------
+    # JSON documents
+    # ------------------------------------------------------------------
+    def put_json(self, key: str, payload: Dict) -> str:
+        path = self.path(key, ".json")
+        _atomic_write_text(path, json.dumps(payload, sort_keys=True))
+        self._seal(path)
+        return path
+
+    def get_json(self, key: str) -> Optional[Dict]:
+        path = self.path(key, ".json")
+        if not os.path.exists(path):
+            return None
+        if not self._check(path):
+            self._drop_corrupt(path, "checksum mismatch")
+            return None
+        try:
+            with open(path) as handle:
+                return json.load(handle)
+        except (json.JSONDecodeError, UnicodeDecodeError, OSError) as exc:
+            self._drop_corrupt(path, f"{type(exc).__name__}: {exc}")
+            return None

@@ -1,0 +1,122 @@
+"""Task DAG model and readiness scheduling for experiment grids.
+
+The orchestrator compiles an experiment spec into three task layers::
+
+    train:<fingerprint>                  (train/load one backdoored model)
+      └─ trial:<trial-key>               (one defense × budget application)
+           └─ agg:<fp>:<defense>:<spc>   (mean ± std over that cell's trials)
+
+:class:`TaskGraph` tracks per-task state and hands out ready work in
+deterministic (insertion) order.  Failure is non-fatal by design: a
+permanently failed task cascades ``skipped`` through its transitive
+dependents and the rest of the grid keeps going (graceful degradation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["Task", "TaskGraph"]
+
+_TERMINAL = frozenset({"done", "failed", "skipped"})
+
+
+@dataclass(frozen=True)
+class Task:
+    """One schedulable unit of work.
+
+    ``payload`` must be picklable (it crosses the process boundary); it is
+    never written to the ledger, which records only ids and results.
+    """
+
+    task_id: str
+    kind: str  # "train" | "trial" | "aggregate"
+    payload: Dict = field(default_factory=dict)
+    deps: Tuple[str, ...] = ()
+    scenario: str = ""  # ScenarioConfig.fingerprint(), for ledger keying
+
+
+class TaskGraph:
+    """Dependency-aware task states with cascade-skip on failure."""
+
+    def __init__(self, tasks: Sequence[Task]) -> None:
+        self.tasks: Dict[str, Task] = {}
+        for task in tasks:
+            if task.task_id in self.tasks:
+                raise ValueError(f"duplicate task id {task.task_id!r}")
+            self.tasks[task.task_id] = task
+        self._dependents: Dict[str, List[str]] = {tid: [] for tid in self.tasks}
+        for task in tasks:
+            for dep in task.deps:
+                if dep not in self.tasks:
+                    raise ValueError(f"task {task.task_id!r} depends on unknown {dep!r}")
+                self._dependents[dep].append(task.task_id)
+        self.state: Dict[str, str] = {tid: "pending" for tid in self.tasks}
+        self._check_acyclic()
+
+    def _check_acyclic(self) -> None:
+        indegree = {tid: len(task.deps) for tid, task in self.tasks.items()}
+        frontier = [tid for tid, deg in indegree.items() if deg == 0]
+        seen = 0
+        while frontier:
+            tid = frontier.pop()
+            seen += 1
+            for dependent in self._dependents[tid]:
+                indegree[dependent] -= 1
+                if indegree[dependent] == 0:
+                    frontier.append(dependent)
+        if seen != len(self.tasks):
+            raise ValueError("task graph contains a cycle")
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def ready_tasks(self) -> List[Task]:
+        """Pending tasks whose dependencies are all done, in insertion order."""
+        out = []
+        for tid, task in self.tasks.items():
+            if self.state[tid] != "pending":
+                continue
+            if all(self.state[dep] == "done" for dep in task.deps):
+                out.append(task)
+        return out
+
+    def mark_running(self, task_id: str) -> None:
+        self.state[task_id] = "running"
+
+    def requeue(self, task_id: str) -> None:
+        """Return a running task to the pending pool (retry path)."""
+        self.state[task_id] = "pending"
+
+    def mark_done(self, task_id: str) -> None:
+        self.state[task_id] = "done"
+
+    def mark_failed(self, task_id: str) -> List[str]:
+        """Mark permanent failure; returns transitively skipped dependents."""
+        self.state[task_id] = "failed"
+        skipped: List[str] = []
+        frontier = list(self._dependents[task_id])
+        while frontier:
+            tid = frontier.pop(0)
+            if self.state[tid] in _TERMINAL:
+                continue
+            self.state[tid] = "skipped"
+            skipped.append(tid)
+            frontier.extend(self._dependents[tid])
+        return skipped
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def is_complete(self) -> bool:
+        return all(status in _TERMINAL for status in self.state.values())
+
+    def counts(self) -> Dict[str, int]:
+        summary: Dict[str, int] = {}
+        for status in self.state.values():
+            summary[status] = summary.get(status, 0) + 1
+        return summary
+
+    def __len__(self) -> int:
+        return len(self.tasks)

@@ -1,0 +1,338 @@
+"""Compile an experiment spec into a task DAG and run it fault-tolerantly.
+
+``Orchestrator.run`` is the parallel, resumable counterpart of
+:func:`repro.eval.experiments.run_experiment`:
+
+- the grid is compiled by the same :func:`scenario_configs` /
+  :func:`budget_trials` code paths, so task identities (scenario
+  fingerprints, trial-cache keys) — and therefore all cached artifacts —
+  are byte-identical between the serial and orchestrated paths;
+- every task state change is appended to a JSONL run ledger; ``--resume``
+  replays the ledger and re-runs only tasks not recorded as done;
+- workers execute tasks through a retrying pool with per-task timeouts;
+  a permanently failed cell is reported and skipped, never fatal.
+
+The produced aggregates are numerically identical to the serial path:
+training and defense trials are deterministic functions of their seeds,
+and the orchestrator runs exactly the same (config, defense, budget)
+tuples — only the schedule differs.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..eval.budget import budget_trials
+from ..eval.experiments import ExperimentResult, ExperimentSpec, scenario_configs
+from ..eval.metrics import BackdoorMetrics
+from ..eval.reporting import format_table
+from ..eval.runner import AggregateResult, TrialCache
+from ..utils.logging import get_logger, log_event
+from .artifacts import content_hash
+from .dag import Task, TaskGraph
+from .ledger import RunLedger
+from .pool import run_tasks
+from .runtime import execute_task
+
+__all__ = [
+    "OrchestratorConfig",
+    "OrchestrationResult",
+    "Orchestrator",
+    "build_experiment_dag",
+]
+
+_LOG = get_logger("repro.orchestrator")
+
+
+def build_experiment_dag(
+    spec: ExperimentSpec,
+    attacks: Optional[Tuple[str, ...]] = None,
+    models: Optional[Tuple[str, ...]] = None,
+    root_seed: int = 0,
+) -> List[Task]:
+    """Compile (a slice of) an experiment grid into tasks.
+
+    Layers: one ``train`` task per scenario, one ``trial`` task per
+    (defense, SPC, trial) cell depending on it, and one ``aggregate`` task
+    per (defense, SPC) cell depending on its trials.
+    """
+    prof = spec.profile
+    tasks: List[Task] = []
+    for model, attack, config in scenario_configs(spec, attacks, models, root_seed):
+        fingerprint = config.fingerprint()
+        train_id = f"train:{fingerprint}"
+        tasks.append(
+            Task(task_id=train_id, kind="train", payload={"config": config},
+                 scenario=fingerprint)
+        )
+        for spc in prof.spc_values:
+            for defense in spec.defenses:
+                defense_kwargs = prof.defense_kwargs.get(defense)
+                trial_ids: List[str] = []
+                trial_entries: List[Dict] = []
+                for budget in budget_trials(spc, prof.num_trials, root_seed):
+                    key = TrialCache.key(config, defense, defense_kwargs, spc, budget.seed)
+                    trial_id = f"trial:{key}"
+                    trial_ids.append(trial_id)
+                    trial_entries.append({"trial": budget.trial, "seed": budget.seed, "key": key})
+                    tasks.append(
+                        Task(
+                            task_id=trial_id,
+                            kind="trial",
+                            payload={
+                                "config": config,
+                                "defense": defense,
+                                "defense_kwargs": defense_kwargs,
+                                "spc": spc,
+                                "trial": budget.trial,
+                                "seed": budget.seed,
+                                "key": key,
+                            },
+                            deps=(train_id,),
+                            scenario=fingerprint,
+                        )
+                    )
+                tasks.append(
+                    Task(
+                        task_id=f"agg:{fingerprint}:{defense}:{spc}",
+                        kind="aggregate",
+                        payload={"defense": defense, "spc": spc, "trials": trial_entries},
+                        deps=tuple(trial_ids),
+                        scenario=fingerprint,
+                    )
+                )
+    return tasks
+
+
+@dataclass
+class OrchestratorConfig:
+    """Execution knobs for one orchestrated run."""
+
+    workers: int = 0  # 0 = inline (no subprocesses); N >= 1 = N worker processes
+    task_timeout: Optional[float] = None
+    max_retries: int = 2
+    retry_backoff: float = 0.5
+    run_dir: Optional[str] = None
+    resume: bool = False
+    model_cache_dir: Optional[str] = None
+    trial_cache_dir: Optional[str] = None
+    verbose: bool = True
+
+
+@dataclass
+class OrchestrationResult:
+    """Outcome of one orchestrated run: results plus execution telemetry."""
+
+    experiment: ExperimentResult
+    run_dir: str
+    ledger_path: str
+    counts: Dict[str, int]
+    failed_cells: List[str] = field(default_factory=list)
+    reused: int = 0  # tasks served from the ledger (resume)
+    elapsed: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failed_cells
+
+    def table_text(self) -> str:
+        """Paper-style tables for every cell that completed."""
+        sections = []
+        for model in self.experiment.spec.models:
+            per_attack = self.experiment.results.get(model, {})
+            baselines = self.experiment.baselines.get(model, {})
+            present = {a: r for a, r in per_attack.items() if a in baselines}
+            if not present:
+                continue
+            sections.append(
+                format_table(
+                    present,
+                    baselines,
+                    title=f"{self.experiment.spec.title} — {model}",
+                )
+            )
+        return "\n\n".join(sections)
+
+    def summary(self) -> str:
+        parts = [f"{status}={count}" for status, count in sorted(self.counts.items())]
+        line = (
+            f"orchestrate: {' '.join(parts)} reused={self.reused} "
+            f"elapsed={self.elapsed:.1f}s ledger={self.ledger_path}"
+        )
+        if self.failed_cells:
+            line += "\nfailed cells:\n" + "\n".join(f"  - {cell}" for cell in self.failed_cells)
+        return line
+
+
+def _default_run_dir(spec: ExperimentSpec, grid_hash: str) -> str:
+    cache_root = os.environ.get("REPRO_CACHE_DIR", os.path.expanduser("~/.cache/repro"))
+    return os.path.join(cache_root, "runs", f"{spec.experiment_id}-{grid_hash[:12]}")
+
+
+class Orchestrator:
+    """Fault-tolerant, parallel, resumable experiment grid executor."""
+
+    def __init__(self, config: Optional[OrchestratorConfig] = None) -> None:
+        self.config = config or OrchestratorConfig()
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        spec: ExperimentSpec,
+        attacks: Optional[Tuple[str, ...]] = None,
+        models: Optional[Tuple[str, ...]] = None,
+        root_seed: int = 0,
+    ) -> OrchestrationResult:
+        cfg = self.config
+        start = time.perf_counter()
+        tasks = build_experiment_dag(spec, attacks, models, root_seed)
+        graph = TaskGraph(tasks)
+        # Grid identity: the sorted task ids hash every config/defense/seed
+        # in the grid, so a ledger can only ever be resumed against the
+        # exact grid that produced it.
+        grid_hash = content_hash(sorted(graph.tasks))
+        run_dir = cfg.run_dir or _default_run_dir(spec, grid_hash)
+        ledger = RunLedger(run_dir)
+
+        preloaded: Dict[str, Dict] = {}
+        if cfg.resume:
+            meta, records = ledger.replay()
+            if meta and meta.get("grid") != grid_hash:
+                backup = ledger.rotate()
+                _LOG.warning(
+                    "ledger at %s was written by a different grid (%s != %s); "
+                    "rotated to %s and starting fresh",
+                    ledger.path, meta.get("grid"), grid_hash, backup,
+                )
+            else:
+                trial_cache = TrialCache(cfg.trial_cache_dir)
+                for task_id, record in records.items():
+                    if record.status != "done" or record.result is None:
+                        continue
+                    task = graph.tasks.get(task_id)
+                    if task is None:
+                        continue
+                    graph.mark_done(task_id)
+                    preloaded[task_id] = record.result
+                    # Self-heal: an aggregate task reads trial metrics from
+                    # the artifact store, which may have been cleaned since
+                    # the trial ran — re-seed it from the ledger result.
+                    if task.kind == "trial":
+                        key = record.result.get("key", task.payload["key"])
+                        if trial_cache.load(key) is None:
+                            trial_cache.store(
+                                key, BackdoorMetrics(**record.result["metrics"])
+                            )
+        else:
+            ledger.rotate()
+
+        ledger.append(
+            "run_meta",
+            experiment=spec.experiment_id,
+            profile=spec.profile.name,
+            root_seed=root_seed,
+            grid=grid_hash,
+            tasks=len(graph),
+            workers=cfg.workers,
+            resumed=bool(cfg.resume),
+            preloaded=len(preloaded),
+        )
+        for task in tasks:
+            if task.task_id not in preloaded:
+                ledger.append(
+                    "queued", task=task.task_id, kind=task.kind, scenario=task.scenario
+                )
+        if cfg.verbose:
+            log_event(
+                _LOG, "run_started",
+                experiment=spec.experiment_id, tasks=len(graph),
+                preloaded=len(preloaded), workers=cfg.workers, run_dir=run_dir,
+            )
+
+        def on_event(event: str, task: Task, **fields) -> None:
+            ledger_fields = dict(fields)
+            ledger.append(event, task=task.task_id, kind=task.kind,
+                          scenario=task.scenario, **ledger_fields)
+            if cfg.verbose:
+                fields.pop("result", None)  # results can be large-ish; keep logs greppable
+                log_event(_LOG, event, task=task.task_id, **fields)
+
+        ctx = {
+            "model_dir": cfg.model_cache_dir,
+            "trial_dir": cfg.trial_cache_dir,
+            "verbose": False,
+        }
+        outcomes = run_tasks(
+            graph,
+            execute_task,
+            ctx,
+            workers=cfg.workers,
+            task_timeout=cfg.task_timeout,
+            max_retries=cfg.max_retries,
+            retry_backoff=cfg.retry_backoff,
+            on_event=on_event,
+        )
+
+        values: Dict[str, Dict] = dict(preloaded)
+        for task_id, outcome in outcomes.items():
+            if outcome.ok and outcome.value is not None:
+                values[task_id] = outcome.value
+
+        result = self._assemble(spec, attacks, models, root_seed, values)
+        counts = graph.counts()
+        orchestration = OrchestrationResult(
+            experiment=result["experiment"],
+            run_dir=run_dir,
+            ledger_path=ledger.path,
+            counts=counts,
+            failed_cells=result["failed_cells"],
+            reused=len(preloaded),
+            elapsed=time.perf_counter() - start,
+        )
+        if cfg.verbose:
+            log_event(
+                _LOG, "run_finished",
+                elapsed=orchestration.elapsed, reused=orchestration.reused,
+                failed=len(orchestration.failed_cells),
+                **{f"tasks_{k}": v for k, v in counts.items()},
+            )
+        return orchestration
+
+    # ------------------------------------------------------------------
+    def _assemble(
+        self,
+        spec: ExperimentSpec,
+        attacks: Optional[Tuple[str, ...]],
+        models: Optional[Tuple[str, ...]],
+        root_seed: int,
+        values: Dict[str, Dict],
+    ) -> Dict:
+        """Fold task results back into the serial-path result shape."""
+        prof = spec.profile
+        results: Dict[str, Dict[str, List[AggregateResult]]] = {}
+        baselines: Dict[str, Dict[str, BackdoorMetrics]] = {}
+        failed_cells: List[str] = []
+        for model, attack, config in scenario_configs(spec, attacks, models, root_seed):
+            fingerprint = config.fingerprint()
+            results.setdefault(model, {})
+            baselines.setdefault(model, {})
+            train_value = values.get(f"train:{fingerprint}")
+            if train_value is None:
+                failed_cells.append(f"{model}/{attack}: backdoor training failed")
+                continue
+            baselines[model][attack] = BackdoorMetrics(**train_value["baseline"])
+            aggregates: List[AggregateResult] = []
+            # Same cell order as BenchmarkRunner.run_grid: SPC-major.
+            for spc in prof.spc_values:
+                for defense in spec.defenses:
+                    value = values.get(f"agg:{fingerprint}:{defense}:{spc}")
+                    if value is None:
+                        failed_cells.append(f"{model}/{attack}/{defense}/spc={spc}")
+                        continue
+                    aggregates.append(AggregateResult(**value))
+            results[model][attack] = aggregates
+        experiment = ExperimentResult(spec=spec, results=results, baselines=baselines)
+        return {"experiment": experiment, "failed_cells": failed_cells}

@@ -1,6 +1,6 @@
 """Shared utilities: seeding, logging, timing."""
 
-from .logging import Timer, get_logger
+from .logging import Timer, get_logger, log_event
 from .seeding import derive_seed, make_rng, seed_sequence
 
-__all__ = ["derive_seed", "seed_sequence", "make_rng", "get_logger", "Timer"]
+__all__ = ["derive_seed", "seed_sequence", "make_rng", "get_logger", "log_event", "Timer"]

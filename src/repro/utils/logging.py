@@ -1,19 +1,54 @@
-"""Minimal structured logging for long-running experiment harnesses."""
+"""Minimal structured logging for long-running experiment harnesses.
+
+The library logs through a single stderr handler on the ``repro`` root
+logger.  Verbosity is controlled three ways, in increasing precedence:
+
+- the default (``INFO``),
+- the ``REPRO_LOG_LEVEL`` environment variable (name like ``DEBUG`` or a
+  numeric level), applied to the ``repro`` root on every call, and
+- an explicit ``level`` argument to :func:`get_logger`, applied to the
+  *named* logger each call (not just the first — earlier versions latched
+  the first caller's level forever).
+
+:func:`log_event` renders machine-greppable ``event=... key=value`` lines
+for per-task telemetry (the orchestrator's queued/started/finished/failed
+stream).
+"""
 
 from __future__ import annotations
 
+import json
 import logging
+import os
 import sys
 import time
 from typing import Optional
 
-__all__ = ["get_logger", "Timer"]
+__all__ = ["get_logger", "log_event", "Timer", "LOG_LEVEL_ENV"]
+
+LOG_LEVEL_ENV = "REPRO_LOG_LEVEL"
 
 _CONFIGURED = False
 
 
-def get_logger(name: str = "repro", level: int = logging.INFO) -> logging.Logger:
-    """Return a configured library logger (stderr, single handler)."""
+def _env_level() -> Optional[int]:
+    """Parse ``REPRO_LOG_LEVEL`` (name or number); None if unset/invalid."""
+    raw = os.environ.get(LOG_LEVEL_ENV, "").strip()
+    if not raw:
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        level = logging.getLevelName(raw.upper())
+        return level if isinstance(level, int) else None
+
+
+def get_logger(name: str = "repro", level: Optional[int] = None) -> logging.Logger:
+    """Return a configured library logger (stderr, single handler).
+
+    ``level`` (when given) is applied to the named logger on every call;
+    ``REPRO_LOG_LEVEL`` sets the ``repro`` root level.
+    """
     global _CONFIGURED
     root = logging.getLogger("repro")
     if not _CONFIGURED:
@@ -22,10 +57,32 @@ def get_logger(name: str = "repro", level: int = logging.INFO) -> logging.Logger
             logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s", "%H:%M:%S")
         )
         root.addHandler(handler)
-        root.setLevel(level)
+        root.setLevel(logging.INFO)
         root.propagate = False
         _CONFIGURED = True
-    return logging.getLogger(name)
+    env_level = _env_level()
+    if env_level is not None:
+        root.setLevel(env_level)
+    logger = logging.getLogger(name)
+    if level is not None:
+        logger.setLevel(level)
+    return logger
+
+
+def _format_value(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    text = str(value)
+    if " " in text or "=" in text or not text:
+        return json.dumps(text)
+    return text
+
+
+def log_event(logger: logging.Logger, event: str, **fields) -> None:
+    """Emit one structured ``event=<name> key=value ...`` line at INFO."""
+    parts = [f"event={event}"]
+    parts.extend(f"{key}={_format_value(value)}" for key, value in sorted(fields.items()))
+    logger.info("%s", " ".join(parts))
 
 
 class Timer:

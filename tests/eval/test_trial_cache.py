@@ -76,3 +76,30 @@ class TestRunnerIntegration:
         assert second.details.get("cached") is True
         assert second.metrics.acc == pytest.approx(first.metrics.acc)
         assert second.metrics.asr == pytest.approx(first.metrics.asr)
+
+
+class TestCorruptionResilience:
+    def test_corrupt_model_cache_is_a_miss_not_a_crash(self, tmp_path):
+        """A killed worker can't poison the cache: corrupt .npz → retrain."""
+        from repro.eval import ScenarioCache
+        from repro.models import build_model
+
+        cfg = config(n_train=150, n_test=60, n_reservoir=120, num_classes=3, train_epochs=2)
+        cache = ScenarioCache(str(tmp_path))
+        model = build_model("preact_resnet18", num_classes=3, profile="quick", seed=1)
+        cache.store(cfg, model)
+        path = cache.path(cfg)
+        with open(path, "wb") as handle:
+            handle.write(b"truncated garbage")
+        fresh = build_model("preact_resnet18", num_classes=3, profile="quick", seed=2)
+        assert cache.load(cfg, fresh) is False  # miss, not an exception
+        import os
+
+        assert not os.path.exists(path)  # corrupt artifact removed
+
+    def test_corrupt_trial_json_is_a_miss(self, tmp_path):
+        cache = TrialCache(str(tmp_path))
+        cache.store("k1", BackdoorMetrics(0.9, 0.1, 0.8))
+        with open(cache._path("k1"), "w") as handle:
+            handle.write('{"acc": 0.9, "as')
+        assert cache.load("k1") is None

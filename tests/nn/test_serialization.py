@@ -3,6 +3,7 @@
 import os
 
 import numpy as np
+import pytest
 
 from repro.nn import BatchNorm2d, Conv2d, Linear, ReLU, Sequential
 from repro.nn.serialization import load_module, load_state, save_module, save_state
@@ -46,3 +47,60 @@ class TestModuleIO:
         a = make_model()
         save_module(a, path)
         assert load_module(make_model(), path) is not None
+
+
+class TestCheckpointErrors:
+    def test_missing_file_raises_named_error(self, tmp_path):
+        from repro.nn.serialization import CheckpointError
+
+        path = str(tmp_path / "missing.npz")
+        with pytest.raises(CheckpointError, match="missing.npz"):
+            load_state(path)
+
+    def test_truncated_archive_raises(self, tmp_path):
+        from repro.nn.serialization import CheckpointError
+
+        path = str(tmp_path / "ckpt.npz")
+        save_state({"x": np.arange(200, dtype=np.float32)}, path)
+        data = open(path, "rb").read()
+        with open(path, "wb") as handle:
+            handle.write(data[: len(data) // 2])
+        with pytest.raises(CheckpointError, match="ckpt.npz"):
+            load_state(path)
+
+    def test_non_npz_junk_raises(self, tmp_path):
+        from repro.nn.serialization import CheckpointError
+
+        path = str(tmp_path / "junk.npz")
+        with open(path, "wb") as handle:
+            handle.write(b"definitely not a zip archive")
+        with pytest.raises(CheckpointError, match="junk.npz"):
+            load_state(path)
+
+    def test_load_module_wraps_bad_file(self, tmp_path):
+        from repro.nn.serialization import CheckpointError
+
+        path = str(tmp_path / "bad.npz")
+        with open(path, "wb") as handle:
+            handle.write(b"\x00" * 16)
+        with pytest.raises(CheckpointError):
+            load_module(make_model(), path)
+
+
+class TestAtomicWrites:
+    def test_no_tmp_files_left_behind(self, tmp_path):
+        path = str(tmp_path / "ckpt.npz")
+        save_state({"x": np.ones(4)}, path)
+        assert sorted(os.listdir(tmp_path)) == ["ckpt.npz"]
+
+    def test_overwrite_replaces_content(self, tmp_path):
+        path = str(tmp_path / "ckpt.npz")
+        save_state({"x": np.zeros(4)}, path)
+        save_state({"x": np.ones(4)}, path)
+        assert np.array_equal(load_state(path)["x"], np.ones(4))
+
+    def test_suffix_appended_like_np_savez(self, tmp_path):
+        # np.savez appends .npz to suffix-less paths; save_state must match.
+        path = str(tmp_path / "ckpt")
+        save_state({"x": np.ones(2)}, path)
+        assert os.path.exists(path + ".npz")

@@ -1,0 +1,96 @@
+"""ArtifactStore: atomic writes, checksummed loads, corruption self-healing."""
+
+import os
+
+import numpy as np
+
+from repro.orchestrator.artifacts import ArtifactStore, content_hash
+
+
+class TestContentHash:
+    def test_stable(self):
+        assert content_hash({"a": 1, "b": [2, 3]}) == content_hash({"b": [2, 3], "a": 1})
+
+    def test_varies(self):
+        assert content_hash({"a": 1}) != content_hash({"a": 2})
+
+
+class TestStateArtifacts:
+    def test_round_trip(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        state = {"w": np.arange(6, dtype=np.float32).reshape(2, 3), "b": np.zeros(3)}
+        store.put_state("model1", state)
+        loaded = store.get_state("model1")
+        assert set(loaded) == {"w", "b"}
+        assert np.array_equal(loaded["w"], state["w"])
+
+    def test_miss_returns_none(self, tmp_path):
+        assert ArtifactStore(str(tmp_path)).get_state("nope") is None
+
+    def test_sidecar_written(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        store.put_state("k", {"x": np.ones(2)})
+        assert os.path.exists(store.path("k", ".npz") + ".sha256")
+
+    def test_corrupt_file_is_dropped(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        store.put_state("k", {"x": np.ones(2)})
+        path = store.path("k", ".npz")
+        with open(path, "r+b") as handle:
+            handle.seek(10)
+            handle.write(b"\xde\xad\xbe\xef")
+        assert store.get_state("k") is None
+        assert not os.path.exists(path)  # self-healed: bad artifact removed
+        assert not os.path.exists(path + ".sha256")
+
+    def test_truncated_file_is_dropped(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        store.put_state("k", {"x": np.arange(100)})
+        path = store.path("k", ".npz")
+        data = open(path, "rb").read()
+        with open(path, "wb") as handle:
+            handle.write(data[: len(data) // 2])
+        assert store.get_state("k") is None
+        assert not os.path.exists(path)
+
+    def test_legacy_file_without_sidecar_loads(self, tmp_path):
+        # Files written by older code have no checksum; still readable.
+        store = ArtifactStore(str(tmp_path))
+        np.savez(store.path("old", ".npz"), x=np.ones(3))
+        loaded = store.get_state("old")
+        assert np.array_equal(loaded["x"], np.ones(3))
+
+    def test_no_tmp_litter(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        store.put_state("k", {"x": np.ones(2)})
+        leftovers = [f for f in os.listdir(tmp_path) if ".tmp." in f]
+        assert leftovers == []
+
+
+class TestJsonArtifacts:
+    def test_round_trip(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        store.put_json("t1", {"acc": 0.9, "asr": 0.1})
+        assert store.get_json("t1") == {"acc": 0.9, "asr": 0.1}
+
+    def test_corrupt_json_dropped(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        store.put_json("t1", {"acc": 0.9})
+        path = store.path("t1", ".json")
+        with open(path, "w") as handle:
+            handle.write('{"acc": 0.')  # truncated write
+        assert store.get_json("t1") is None
+        assert not os.path.exists(path)
+
+    def test_overwrite(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        store.put_json("k", {"v": 1})
+        store.put_json("k", {"v": 2})
+        assert store.get_json("k") == {"v": 2}
+
+    def test_delete(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        store.put_json("k", {"v": 1})
+        store.delete("k", ".json")
+        assert store.get_json("k") is None
+        assert not os.path.exists(store.path("k", ".json") + ".sha256")

@@ -1,0 +1,86 @@
+"""TaskGraph: readiness, cascade-skip, validation."""
+
+import pytest
+
+from repro.orchestrator.dag import Task, TaskGraph
+
+
+def chain():
+    return [
+        Task("a", "train"),
+        Task("b", "trial", deps=("a",)),
+        Task("c", "trial", deps=("a",)),
+        Task("d", "aggregate", deps=("b", "c")),
+    ]
+
+
+class TestValidation:
+    def test_duplicate_id_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            TaskGraph([Task("a", "train"), Task("a", "train")])
+
+    def test_unknown_dep_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            TaskGraph([Task("a", "train", deps=("ghost",))])
+
+    def test_cycle_rejected(self):
+        with pytest.raises(ValueError, match="cycle"):
+            TaskGraph([Task("a", "x", deps=("b",)), Task("b", "x", deps=("a",))])
+
+
+class TestReadiness:
+    def test_roots_ready_first(self):
+        graph = TaskGraph(chain())
+        assert [t.task_id for t in graph.ready_tasks()] == ["a"]
+
+    def test_deps_gate_release(self):
+        graph = TaskGraph(chain())
+        graph.mark_done("a")
+        assert [t.task_id for t in graph.ready_tasks()] == ["b", "c"]
+        graph.mark_done("b")
+        assert [t.task_id for t in graph.ready_tasks()] == ["c"]
+        graph.mark_done("c")
+        assert [t.task_id for t in graph.ready_tasks()] == ["d"]
+
+    def test_running_not_ready(self):
+        graph = TaskGraph(chain())
+        graph.mark_running("a")
+        assert graph.ready_tasks() == []
+
+    def test_requeue_restores_readiness(self):
+        graph = TaskGraph(chain())
+        graph.mark_running("a")
+        graph.requeue("a")
+        assert [t.task_id for t in graph.ready_tasks()] == ["a"]
+
+
+class TestFailureCascade:
+    def test_root_failure_skips_everything(self):
+        graph = TaskGraph(chain())
+        skipped = graph.mark_failed("a")
+        assert set(skipped) == {"b", "c", "d"}
+        assert graph.is_complete()
+        assert graph.counts() == {"failed": 1, "skipped": 3}
+
+    def test_partial_failure_keeps_siblings(self):
+        graph = TaskGraph(chain())
+        graph.mark_done("a")
+        skipped = graph.mark_failed("b")
+        assert skipped == ["d"]
+        assert graph.state["c"] == "pending"  # sibling survives
+
+    def test_done_dependents_untouched(self):
+        graph = TaskGraph(chain())
+        graph.mark_done("a")
+        graph.mark_done("b")
+        skipped = graph.mark_failed("c")
+        assert graph.state["b"] == "done"
+        assert skipped == ["d"]
+
+
+class TestIntrospection:
+    def test_len_and_counts(self):
+        graph = TaskGraph(chain())
+        assert len(graph) == 4
+        assert graph.counts() == {"pending": 4}
+        assert not graph.is_complete()

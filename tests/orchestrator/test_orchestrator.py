@@ -1,0 +1,194 @@
+"""Orchestrator integration: DAG compilation, serial equivalence, fault/resume.
+
+Uses a deliberately tiny grid (150 train samples, 2 epochs, 3 classes) so a
+full train → defend → aggregate round trip stays in the seconds range.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.eval import (
+    BenchmarkRunner,
+    ScenarioCache,
+    TrialCache,
+    run_experiment,
+    scenario_configs,
+)
+from repro.eval.experiments import ExperimentProfile, ExperimentSpec
+from repro.orchestrator import FAULT_RATE_ENV
+from repro.orchestrator.orchestrator import (
+    Orchestrator,
+    OrchestratorConfig,
+    build_experiment_dag,
+)
+
+TINY_PROFILE = ExperimentProfile(
+    name="tiny",
+    n_train=150,
+    n_test=60,
+    n_reservoir=120,
+    train_epochs=2,
+    spc_values=(2,),
+    num_trials=2,
+    num_classes_cifar=3,
+    defense_kwargs={"ft": {"epochs": 1}},
+)
+
+
+def tiny_spec(defenses=("clp", "ft")):
+    return ExperimentSpec(
+        "tiny", "Tiny grid", "synth_cifar", ("preact_resnet18",), ("badnets",),
+        defenses, TINY_PROFILE,
+    )
+
+
+def orchestrator_for(tmp_path, **overrides):
+    kwargs = dict(
+        workers=0,
+        run_dir=str(tmp_path / "run"),
+        model_cache_dir=str(tmp_path / "models"),
+        trial_cache_dir=str(tmp_path / "trials"),
+        retry_backoff=0.01,
+        verbose=False,
+    )
+    kwargs.update(overrides)
+    return Orchestrator(OrchestratorConfig(**kwargs))
+
+
+def ledger_events(path):
+    with open(path) as handle:
+        return [json.loads(line) for line in handle]
+
+
+class TestDagBuilder:
+    def test_structure(self):
+        spec = tiny_spec()
+        tasks = build_experiment_dag(spec)
+        kinds = {}
+        for task in tasks:
+            kinds.setdefault(task.kind, []).append(task)
+        # 1 scenario; 1 SPC x 2 defenses x 2 trials; 1 SPC x 2 defenses.
+        assert len(kinds["train"]) == 1
+        assert len(kinds["trial"]) == 4
+        assert len(kinds["aggregate"]) == 2
+
+    def test_ids_embed_fingerprint(self):
+        spec = tiny_spec()
+        (_, _, config), = scenario_configs(spec)
+        fingerprint = config.fingerprint()
+        tasks = build_experiment_dag(spec)
+        assert all(task.scenario == fingerprint for task in tasks)
+        assert any(task.task_id == f"train:{fingerprint}" for task in tasks)
+
+    def test_trial_keys_match_trial_cache(self):
+        spec = tiny_spec()
+        (_, _, config), = scenario_configs(spec)
+        for task in build_experiment_dag(spec):
+            if task.kind != "trial":
+                continue
+            expected = TrialCache.key(
+                config, task.payload["defense"], task.payload["defense_kwargs"],
+                task.payload["spc"], task.payload["seed"],
+            )
+            assert task.payload["key"] == expected
+            assert task.task_id == f"trial:{expected}"
+
+    def test_dependencies_wired(self):
+        spec = tiny_spec()
+        tasks = {task.task_id: task for task in build_experiment_dag(spec)}
+        for task in tasks.values():
+            if task.kind == "trial":
+                assert len(task.deps) == 1 and task.deps[0].startswith("train:")
+            if task.kind == "aggregate":
+                assert len(task.deps) == TINY_PROFILE.num_trials
+                assert all(dep.startswith("trial:") for dep in task.deps)
+
+
+class TestSerialEquivalence:
+    def test_workers4_matches_run_experiment(self, tmp_path):
+        """Acceptance: orchestrated aggregates == serial, bit for bit."""
+        spec = tiny_spec()
+        serial_runner = BenchmarkRunner(
+            cache=ScenarioCache(str(tmp_path / "serial_models")),
+            trial_cache=TrialCache(str(tmp_path / "serial_trials")),
+            verbose=False,
+        )
+        serial = run_experiment(spec, runner=serial_runner)
+        result = orchestrator_for(tmp_path, workers=4).run(spec)
+        assert result.ok and result.counts == {"done": 7}
+
+        model, attack = "preact_resnet18", "badnets"
+        serial_baseline = serial.baselines[model][attack]
+        orch_baseline = result.experiment.baselines[model][attack]
+        assert (serial_baseline.acc, serial_baseline.asr, serial_baseline.ra) == (
+            orch_baseline.acc, orch_baseline.asr, orch_baseline.ra,
+        )
+        serial_aggs = serial.results[model][attack]
+        orch_aggs = result.experiment.results[model][attack]
+        assert len(serial_aggs) == len(orch_aggs)
+        for ours, theirs in zip(orch_aggs, serial_aggs):
+            assert (ours.defense, ours.spc, ours.num_trials) == (
+                theirs.defense, theirs.spc, theirs.num_trials,
+            )
+            assert (ours.acc_mean, ours.acc_std) == (theirs.acc_mean, theirs.acc_std)
+            assert (ours.asr_mean, ours.asr_std) == (theirs.asr_mean, theirs.asr_std)
+            assert (ours.ra_mean, ours.ra_std) == (theirs.ra_mean, theirs.ra_std)
+        assert result.table_text()  # renders without the serial helper
+
+
+class TestFaultInjectionAndResume:
+    def test_faulted_run_resumes_without_recompute(self, tmp_path, monkeypatch):
+        """Acceptance: REPRO_ORCH_FAULT_RATE>0 retries; --resume finishes the
+        grid without re-executing any task the ledger marks done."""
+        spec = tiny_spec(defenses=("clp",))
+        monkeypatch.setenv(FAULT_RATE_ENV, "0.4")
+        first = orchestrator_for(tmp_path, max_retries=2).run(spec)
+        events = ledger_events(first.ledger_path)
+        assert any(event["event"] == "retried" for event in events)
+        done_after_first = {
+            event["task"] for event in events if event["event"] == "finished"
+        }
+        lines_after_first = len(events)
+
+        monkeypatch.setenv(FAULT_RATE_ENV, "0")
+        second = orchestrator_for(tmp_path, resume=True).run(spec)
+        assert second.ok and not second.failed_cells
+        assert second.reused == len(done_after_first)
+        appended = ledger_events(second.ledger_path)[lines_after_first:]
+        restarted = {
+            event["task"] for event in appended if event["event"] == "started"
+        }
+        assert not (restarted & done_after_first), "resume re-ran finished tasks"
+
+    def test_resume_of_complete_run_is_noop(self, tmp_path):
+        spec = tiny_spec(defenses=("clp",))
+        first = orchestrator_for(tmp_path).run(spec)
+        assert first.ok
+        lines = len(ledger_events(first.ledger_path))
+        second = orchestrator_for(tmp_path, resume=True).run(spec)
+        assert second.ok
+        assert second.reused == len(build_experiment_dag(spec))
+        appended = ledger_events(second.ledger_path)[lines:]
+        assert all(event["event"] == "run_meta" for event in appended)
+        # Results are fully reconstructed from the ledger alone.
+        assert second.experiment.results["preact_resnet18"]["badnets"]
+
+    def test_resume_against_different_grid_starts_fresh(self, tmp_path):
+        first = orchestrator_for(tmp_path).run(tiny_spec(defenses=("clp",)))
+        assert first.ok
+        second = orchestrator_for(tmp_path, resume=True).run(tiny_spec(defenses=("ft",)))
+        assert second.ok
+        assert second.reused == 0  # mismatched grid hash → rotated, not reused
+        assert os.path.exists(first.ledger_path + ".bak1")
+
+
+class TestGracefulDegradation:
+    def test_total_failure_is_reported_not_raised(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(FAULT_RATE_ENV, "1.0")
+        result = orchestrator_for(tmp_path, max_retries=0).run(tiny_spec())
+        assert not result.ok
+        assert result.counts == {"failed": 1, "skipped": 6}
+        assert any("training failed" in cell for cell in result.failed_cells)
+        assert result.table_text() == ""

@@ -73,3 +73,138 @@ class TestListCommand:
         assert "badnets" in out
         assert "grad_prune" in out
         assert "table1" in out
+
+
+class TestExperimentFlagForwarding:
+    """--attacks / --models / --profile must reach run_experiment intact."""
+
+    def _capture(self, monkeypatch):
+        calls = {}
+
+        def fake_run_experiment(spec, attacks=None, models=None, root_seed=0):
+            calls.update(spec=spec, attacks=attacks, models=models, root_seed=root_seed)
+
+            class _Result:
+                @staticmethod
+                def table_text():
+                    return "(table)"
+
+            return _Result()
+
+        monkeypatch.setattr("repro.cli.run_experiment", fake_run_experiment)
+        return calls
+
+    def test_defaults_pass_none_filters(self, monkeypatch, capsys):
+        calls = self._capture(monkeypatch)
+        assert main(["experiment", "table1"]) == 0
+        assert calls["spec"].experiment_id == "table1"
+        assert calls["attacks"] is None
+        assert calls["models"] is None
+        assert calls["root_seed"] == 0
+        assert "(table)" in capsys.readouterr().out
+
+    def test_attack_and_model_filters_forwarded(self, monkeypatch, capsys):
+        calls = self._capture(monkeypatch)
+        assert main([
+            "experiment", "figure2",
+            "--attacks", "badnets", "blended",
+            "--models", "preact_resnet18",
+            "--seed", "7",
+        ]) == 0
+        assert calls["attacks"] == ("badnets", "blended")
+        assert calls["models"] == ("preact_resnet18",)
+        assert calls["root_seed"] == 7
+
+    def test_profile_resolves_spec(self, monkeypatch, capsys):
+        calls = self._capture(monkeypatch)
+        assert main(["experiment", "table1", "--profile", "paper"]) == 0
+        assert calls["spec"].profile.name == "paper"
+        calls = self._capture(monkeypatch)
+        assert main(["experiment", "table1", "--profile", "quick"]) == 0
+        assert calls["spec"].profile.name == "quick"
+
+
+class TestOrchestrateCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["orchestrate", "table1"])
+        assert args.command == "orchestrate"
+        assert args.workers is None  # resolved to CPU count at run time
+        assert args.resume is False
+        assert args.max_retries == 2
+        assert args.task_timeout is None
+        assert args.run_dir is None
+
+    def test_parser_full(self):
+        args = build_parser().parse_args([
+            "orchestrate", "figure1", "--workers", "4", "--resume",
+            "--task-timeout", "30", "--max-retries", "5",
+            "--attacks", "badnets", "--models", "vgg19_bn",
+            "--run-dir", "/tmp/run", "--seed", "3",
+        ])
+        assert args.workers == 4 and args.resume is True
+        assert args.task_timeout == 30.0 and args.max_retries == 5
+        assert args.attacks == ["badnets"] and args.models == ["vgg19_bn"]
+        assert args.run_dir == "/tmp/run" and args.seed == 3
+
+    def test_invalid_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["orchestrate", "nope"])
+
+    def test_wiring_reaches_orchestrator(self, monkeypatch, capsys):
+        captured = {}
+
+        class FakeOrchestrator:
+            def __init__(self, config):
+                captured["config"] = config
+
+            def run(self, spec, attacks=None, models=None, root_seed=0):
+                captured.update(spec=spec, attacks=attacks, models=models, root_seed=root_seed)
+
+                class _Result:
+                    ok = True
+
+                    @staticmethod
+                    def table_text():
+                        return "(orchestrated table)"
+
+                    @staticmethod
+                    def summary():
+                        return "orchestrate: done=7"
+
+                return _Result()
+
+        monkeypatch.setattr("repro.cli.Orchestrator", FakeOrchestrator)
+        exit_code = main([
+            "orchestrate", "table1", "--workers", "3", "--resume",
+            "--attacks", "badnets", "--seed", "5",
+        ])
+        assert exit_code == 0
+        assert captured["config"].workers == 3
+        assert captured["config"].resume is True
+        assert captured["spec"].experiment_id == "table1"
+        assert captured["attacks"] == ("badnets",)
+        assert captured["root_seed"] == 5
+        out = capsys.readouterr().out
+        assert "(orchestrated table)" in out and "done=7" in out
+
+    def test_failed_cells_exit_nonzero(self, monkeypatch, capsys):
+        class FakeOrchestrator:
+            def __init__(self, config):
+                pass
+
+            def run(self, spec, **kwargs):
+                class _Result:
+                    ok = False
+
+                    @staticmethod
+                    def table_text():
+                        return ""
+
+                    @staticmethod
+                    def summary():
+                        return "orchestrate: failed=1"
+
+                return _Result()
+
+        monkeypatch.setattr("repro.cli.Orchestrator", FakeOrchestrator)
+        assert main(["orchestrate", "table1"]) == 1

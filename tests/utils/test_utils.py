@@ -54,3 +54,59 @@ class TestLogging:
         finally:
             logger.removeHandler(caplog.handler)
         assert any("step took" in r.message for r in caplog.records)
+
+
+class TestLoggingLevels:
+    def test_per_call_level_honored_after_first_call(self):
+        # The old implementation latched the first caller's level globally
+        # and silently ignored every later ``level`` argument.
+        get_logger("repro.lvl_a")
+        logger = get_logger("repro.lvl_b", logging.DEBUG)
+        assert logger.getEffectiveLevel() == logging.DEBUG
+        logger = get_logger("repro.lvl_b", logging.WARNING)
+        assert logger.getEffectiveLevel() == logging.WARNING
+
+    def test_env_variable_sets_root_level(self, monkeypatch):
+        from repro.utils.logging import LOG_LEVEL_ENV
+
+        monkeypatch.setenv(LOG_LEVEL_ENV, "DEBUG")
+        get_logger("repro.env_test")
+        assert logging.getLogger("repro").level == logging.DEBUG
+        monkeypatch.setenv(LOG_LEVEL_ENV, "30")
+        get_logger("repro.env_test")
+        assert logging.getLogger("repro").level == logging.WARNING
+        monkeypatch.setenv(LOG_LEVEL_ENV, "not-a-level")
+        get_logger("repro.env_test")  # invalid value: ignored, no crash
+
+    def test_env_cleanup(self, monkeypatch):
+        monkeypatch.delenv("REPRO_LOG_LEVEL", raising=False)
+        logging.getLogger("repro").setLevel(logging.INFO)
+        assert get_logger("repro").getEffectiveLevel() == logging.INFO
+
+
+class TestLogEvent:
+    def test_structured_line(self, caplog):
+        from repro.utils import log_event
+
+        logger = get_logger("repro.event_test")
+        logger.addHandler(caplog.handler)
+        try:
+            log_event(logger, "finished", task="trial:abc", elapsed=1.23456, worker=2)
+        finally:
+            logger.removeHandler(caplog.handler)
+        line = caplog.records[-1].message
+        assert line.startswith("event=finished")
+        assert "task=trial:abc" in line
+        assert "elapsed=1.235" in line
+        assert "worker=2" in line
+
+    def test_values_with_spaces_quoted(self, caplog):
+        from repro.utils import log_event
+
+        logger = get_logger("repro.event_test2")
+        logger.addHandler(caplog.handler)
+        try:
+            log_event(logger, "failed", error="worker died (killed or crashed)")
+        finally:
+            logger.removeHandler(caplog.handler)
+        assert 'error="worker died (killed or crashed)"' in caplog.records[-1].message
