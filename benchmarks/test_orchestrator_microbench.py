@@ -18,12 +18,15 @@ import json
 import os
 import time
 
+import pytest
 from conftest import OUT_DIR
 
 from repro.eval import BenchmarkRunner, ScenarioCache, TrialCache, run_experiment
 from repro.eval.experiments import QUICK_PROFILE, ExperimentSpec
 from repro.orchestrator import Orchestrator, OrchestratorConfig
 from repro.orchestrator.orchestrator import build_experiment_dag
+
+pytestmark = pytest.mark.bench
 
 WORKERS = 4
 

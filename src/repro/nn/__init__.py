@@ -32,8 +32,15 @@ from .sam import SAM
 from .scheduler import CosineAnnealingLR, MultiStepLR, StepLR
 from .serialization import CheckpointError, load_module, load_state, save_module, save_state
 from . import functional
-from .functional import Workspace, fast_path_enabled, workspace
-from .inference import CompiledInference, compile_for_inference, invalidate_compiled
+from . import engine
+from .functional import Workspace, current_arena, fast_path_enabled, use_arena, workspace
+from .inference import (
+    CompiledInference,
+    FoldChain,
+    compile_for_inference,
+    invalidate_compiled,
+    trace_fold_chains,
+)
 
 __all__ = [
     "Tensor",
@@ -79,10 +86,15 @@ __all__ = [
     "save_module",
     "load_module",
     "functional",
+    "engine",
     "Workspace",
     "workspace",
+    "current_arena",
+    "use_arena",
     "fast_path_enabled",
     "CompiledInference",
+    "FoldChain",
     "compile_for_inference",
     "invalidate_compiled",
+    "trace_fold_chains",
 ]

@@ -1,0 +1,239 @@
+"""Cache-blocked tiled GEMM executor with a fused epilogue.
+
+:class:`TiledGemmEngine` is the execution layer under the inference fast
+path.  Given the im2col operand ``a = (M, K)`` and packed weights
+``b = (K, N)`` it computes ``a @ b`` plus an optional fused epilogue —
+per-column bias add (which, after conv–BN folding, *is* the batch-norm
+affine) and ReLU — without ever materializing an un-activated
+intermediate:
+
+- small problems (or ``workers == 1``) run inline as the single BLAS GEMM
+  the PR 2 fast path already issued, bounding the 1-core overhead of this
+  layer to a couple of dict lookups;
+- large problems are split into cache-blocked (M, N) tiles (see
+  :mod:`repro.nn.engine.tiler`) and dispatched to a persistent worker pool
+  (:mod:`repro.nn.engine.pool`): fork+shared-memory processes by default,
+  threads when ``fork`` is unavailable or forced.
+
+Environment knobs (consulted on every call so tests can flip them live):
+
+``REPRO_ENGINE_WORKERS``
+    Worker count; default ``min(os.cpu_count(), 8)``.  ``1`` disables
+    tiling entirely.
+``REPRO_ENGINE_BACKEND``
+    ``process`` | ``thread`` | ``auto`` (default: process when ``fork``
+    exists).
+``REPRO_ENGINE_TILE``
+    Tile-shape override, e.g. ``256`` or ``256x128``.
+
+The engine is a process-wide singleton (:func:`engine`); pools and shared
+slabs are created lazily, persist across calls, and are re-created when the
+requested (workers, backend) pair changes.  A fork hook in
+:mod:`repro.nn.functional` resets the child's copy so orchestrator workers
+never talk to a pool they do not own.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from .pool import ProcessTilePool, SharedSlabs, ThreadTilePool, fork_available
+from .tiler import MIN_PARALLEL_FLOPS, choose_tile_shape, tile_grid
+
+__all__ = [
+    "WORKERS_ENV",
+    "BACKEND_ENV",
+    "TiledGemmEngine",
+    "engine",
+    "reset_engine",
+    "resolve_workers",
+    "resolve_backend",
+]
+
+WORKERS_ENV = "REPRO_ENGINE_WORKERS"
+BACKEND_ENV = "REPRO_ENGINE_BACKEND"
+
+# More workers than this oversubscribes the BLAS-threaded GEMM on big boxes.
+_MAX_DEFAULT_WORKERS = 8
+
+
+def resolve_workers() -> int:
+    """Worker count from ``REPRO_ENGINE_WORKERS``, default cpu-count capped."""
+    raw = os.environ.get(WORKERS_ENV, "").strip()
+    if raw:
+        try:
+            return max(1, int(raw))
+        except ValueError:
+            raise ValueError(f"{WORKERS_ENV} must be an integer, got {raw!r}") from None
+    return max(1, min(os.cpu_count() or 1, _MAX_DEFAULT_WORKERS))
+
+
+def resolve_backend() -> str:
+    """Pool backend: ``process`` (fork + shared memory) or ``thread``."""
+    raw = os.environ.get(BACKEND_ENV, "auto").strip().lower() or "auto"
+    if raw not in ("auto", "process", "thread"):
+        raise ValueError(f"{BACKEND_ENV} must be auto|process|thread, got {raw!r}")
+    if raw == "auto":
+        return "process" if fork_available() else "thread"
+    if raw == "process" and not fork_available():
+        return "thread"
+    return raw
+
+
+def _thread_tile(a, b, out, bias, activation, m0, m1, n0, n1) -> None:
+    sub = out[m0:m1, n0:n1]
+    np.matmul(a[m0:m1], b[:, n0:n1], out=sub)
+    if bias is not None:
+        sub += bias[n0:n1]
+    if activation == "relu":
+        np.maximum(sub, 0.0, out=sub)
+
+
+class TiledGemmEngine:
+    """Tiled GEMM + fused epilogue over a persistent worker pool."""
+
+    def __init__(self) -> None:
+        self._pool: Optional[Union[ThreadTilePool, ProcessTilePool]] = None
+        self._pool_key: Optional[Tuple[str, int]] = None
+        self._slabs: Optional[SharedSlabs] = None
+        # Telemetry of the most recent execute(): how the work was split.
+        self.last: Dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    # Pool lifecycle
+    # ------------------------------------------------------------------
+    def _ensure_pool(self, backend: str, workers: int):
+        key = (backend, workers)
+        if self._pool is not None and self._pool_key == key:
+            if backend != "process" or self._pool.alive():
+                return self._pool
+        self.shutdown()
+        if backend == "process":
+            self._pool = ProcessTilePool(workers)
+            self._slabs = SharedSlabs()
+        else:
+            self._pool = ThreadTilePool(workers)
+        self._pool_key = key
+        return self._pool
+
+    def shutdown(self) -> None:
+        """Stop the pool and release shared slabs (safe to call anytime)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+            self._pool_key = None
+        if self._slabs is not None:
+            self._slabs.close()
+            self._slabs = None
+
+    def forget_inherited_state(self) -> None:
+        """Drop pool/slab handles without teardown (forked-child hook).
+
+        The child's handles point at resources owned by the parent; closing
+        them here would tear the parent's pool down underneath it.
+        """
+        self._pool = None
+        self._pool_key = None
+        if self._slabs is not None:
+            self._slabs.close()  # pid-guarded: only clears the dict in a child
+            self._slabs = None
+        self.last = {}
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        bias: Optional[np.ndarray] = None,
+        activation: Optional[str] = None,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """``a @ b`` with the bias/activation epilogue fused into each tile.
+
+        ``a`` is ``(M, K)``, ``b`` is ``(K, N)``, ``bias`` broadcasts over
+        rows as ``(N,)``.  Returns ``out`` (allocated fresh when omitted);
+        the result is always private memory that escapes safely into the
+        caller's graph.
+        """
+        if activation not in (None, "relu"):
+            raise ValueError(f"unsupported fused activation: {activation!r}")
+        m, k = a.shape
+        n = b.shape[1]
+        if out is None:
+            out = np.empty((m, n), dtype=a.dtype)
+
+        workers = resolve_workers()
+        if workers == 1 or 2 * m * n * k < MIN_PARALLEL_FLOPS:
+            return self._inline(a, b, bias, activation, out)
+
+        tile_m, tile_n = choose_tile_shape(m, n, k, a.itemsize, workers)
+        tiles = tile_grid(m, n, tile_m, tile_n)
+        if len(tiles) == 1:
+            return self._inline(a, b, bias, activation, out)
+
+        backend = resolve_backend()
+        pool = self._ensure_pool(backend, workers)
+        self.last = {
+            "backend": backend,
+            "workers": workers,
+            "tiles": len(tiles),
+            "tile_shape": (tile_m, tile_n),
+            "mnk": (m, n, k),
+        }
+        if backend == "thread":
+            pool.run(
+                _thread_tile,
+                [(a, b, out, bias, activation, *tile) for tile in tiles],
+            )
+            return out
+
+        # Process backend: stage operands into shared slabs, compute into the
+        # shared output slab, then copy once into private result memory (the
+        # slab is recycled next call, so it must never escape).
+        _, a_ref = self._slabs.stage("a", np.ascontiguousarray(a))
+        _, b_ref = self._slabs.stage("b", np.ascontiguousarray(b))
+        out_view, out_ref = self._slabs.empty("out", (m, n), a.dtype)
+        bias_bytes = (
+            None if bias is None else np.ascontiguousarray(bias, dtype=a.dtype).tobytes()
+        )
+        pool.run(
+            [(a_ref, b_ref, out_ref, *tile, bias_bytes, activation) for tile in tiles]
+        )
+        np.copyto(out, out_view)
+        return out
+
+    @staticmethod
+    def _inline(a, b, bias, activation, out) -> np.ndarray:
+        np.matmul(a, b, out=out)
+        if bias is not None:
+            out += bias
+        if activation == "relu":
+            np.maximum(out, 0.0, out=out)
+        return out
+
+
+_ENGINE: Optional[TiledGemmEngine] = None
+
+
+def engine() -> TiledGemmEngine:
+    """The process-wide tiled GEMM engine (created lazily)."""
+    global _ENGINE
+    if _ENGINE is None:
+        _ENGINE = TiledGemmEngine()
+    return _ENGINE
+
+
+def reset_engine(in_child: bool = False) -> None:
+    """Tear down (or, in a forked child, simply forget) the engine singleton."""
+    global _ENGINE
+    if _ENGINE is not None:
+        if in_child:
+            _ENGINE.forget_inherited_state()
+        else:
+            _ENGINE.shutdown()
+    _ENGINE = None

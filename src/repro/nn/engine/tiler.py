@@ -1,0 +1,148 @@
+"""Tile-size selection for the tiled GEMM executor.
+
+The engine splits a ``(M, K) @ (K, N)`` GEMM into an (M, N) grid of tiles so
+that independent workers can each own a cache-resident sub-problem.  Tile
+sizes come from a small heuristic over the host's cache hierarchy:
+
+- the per-tile working set ``tile_m * (K + N) * itemsize`` (the A-panel the
+  tile streams plus its slice of the output) should fit in a worker's share
+  of L2, so a tile's inner loops run out of cache;
+- the B operand ``K x N`` is shared read-only across tiles and is expected
+  to live in L3;
+- the grid should expose at least a few tiles per worker so the pool can
+  load-balance, but never so many that per-tile dispatch overhead dominates
+  the GEMM itself.
+
+Cache sizes are read from sysfs on Linux and fall back to conservative
+defaults elsewhere.  ``REPRO_ENGINE_TILE`` overrides the choice entirely:
+``REPRO_ENGINE_TILE=256`` forces 256-row M-tiles (full N), and
+``REPRO_ENGINE_TILE=256x128`` forces a 256x128 grid.
+"""
+
+from __future__ import annotations
+
+import functools
+import glob
+import os
+from typing import List, Optional, Tuple
+
+__all__ = [
+    "TILE_ENV",
+    "Tile",
+    "cache_sizes",
+    "choose_tile_shape",
+    "tile_grid",
+]
+
+TILE_ENV = "REPRO_ENGINE_TILE"
+
+# Conservative fallbacks when sysfs is unavailable (containers, macOS).
+_DEFAULT_L2 = 512 * 1024
+_DEFAULT_L3 = 8 * 1024 * 1024
+
+# Tiles smaller than this many rows stop amortizing BLAS call overhead.
+_MIN_TILE_M = 64
+# Below this many multiply-adds a GEMM is not worth dispatching at all.
+MIN_PARALLEL_FLOPS = 2_000_000
+
+Tile = Tuple[int, int, int, int]  # (m0, m1, n0, n1)
+
+
+def _parse_size(text: str) -> Optional[int]:
+    text = text.strip().upper()
+    try:
+        if text.endswith("K"):
+            return int(text[:-1]) * 1024
+        if text.endswith("M"):
+            return int(text[:-1]) * 1024 * 1024
+        return int(text)
+    except ValueError:
+        return None
+
+
+@functools.lru_cache(maxsize=1)
+def cache_sizes() -> Tuple[int, int]:
+    """Detected ``(l2_bytes, l3_bytes)`` of cpu0, with safe fallbacks.
+
+    Reads ``/sys/devices/system/cpu/cpu0/cache/index*``; a missing level
+    inherits the fallback so the heuristics always have something sane.
+    """
+    l2, l3 = _DEFAULT_L2, _DEFAULT_L3
+    for index in glob.glob("/sys/devices/system/cpu/cpu0/cache/index*"):
+        try:
+            with open(os.path.join(index, "level")) as handle:
+                level = int(handle.read().strip())
+            with open(os.path.join(index, "type")) as handle:
+                kind = handle.read().strip()
+            with open(os.path.join(index, "size")) as handle:
+                size = _parse_size(handle.read())
+        except (OSError, ValueError):
+            continue
+        if size is None or kind == "Instruction":
+            continue
+        if level == 2:
+            l2 = size
+        elif level == 3:
+            l3 = size
+    return l2, l3
+
+
+def _tile_override() -> Optional[Tuple[int, Optional[int]]]:
+    """Parse ``REPRO_ENGINE_TILE`` into ``(tile_m, tile_n-or-None)``."""
+    raw = os.environ.get(TILE_ENV, "").strip().lower()
+    if not raw:
+        return None
+    parts = raw.split("x")
+    try:
+        tile_m = int(parts[0])
+        tile_n = int(parts[1]) if len(parts) > 1 else None
+    except (ValueError, IndexError):
+        raise ValueError(
+            f"{TILE_ENV} must look like '256' or '256x128', got {raw!r}"
+        ) from None
+    if tile_m <= 0 or (tile_n is not None and tile_n <= 0):
+        raise ValueError(f"{TILE_ENV} tile sizes must be positive, got {raw!r}")
+    return tile_m, tile_n
+
+
+def choose_tile_shape(
+    m: int, n: int, k: int, itemsize: int, workers: int
+) -> Tuple[int, int]:
+    """Pick ``(tile_m, tile_n)`` for an ``(m, k) @ (k, n)`` GEMM.
+
+    Honors the ``REPRO_ENGINE_TILE`` override; otherwise sizes the M-tile so
+    a tile's streamed working set fits in half of this worker-count's share
+    of L2, clamped to ``[_MIN_TILE_M, m]``, and only splits N when the
+    shared B operand overflows half of L3 (rare for conv weight matrices).
+    """
+    override = _tile_override()
+    if override is not None:
+        tile_m, tile_n = override
+        return min(tile_m, m), min(tile_n or n, n)
+
+    l2, l3 = cache_sizes()
+    budget = max(l2 // max(workers, 1) // 2, _MIN_TILE_M * itemsize)
+    tile_m = budget // max((k + n) * itemsize, 1)
+    tile_m = max(_MIN_TILE_M, min(m, tile_m))
+
+    tile_n = n
+    if k * n * itemsize > l3 // 2 and n >= 2 * _MIN_TILE_M:
+        tile_n = max(_MIN_TILE_M, n // 2)
+
+    # Load balance: expose at least ~2 tiles per worker when the matrix is
+    # tall enough, without dropping below the minimum efficient tile.
+    if workers > 1:
+        want = 2 * workers
+        while tile_m > _MIN_TILE_M and (m + tile_m - 1) // tile_m < want:
+            tile_m = max(_MIN_TILE_M, tile_m // 2)
+    return tile_m, tile_n
+
+
+def tile_grid(m: int, n: int, tile_m: int, tile_n: int) -> List[Tile]:
+    """Split an ``m x n`` output into row-major ``(m0, m1, n0, n1)`` tiles."""
+    tiles: List[Tile] = []
+    for m0 in range(0, m, tile_m):
+        m1 = min(m0 + tile_m, m)
+        for n0 in range(0, n, tile_n):
+            tiles.append((m0, m1, n0, min(n0 + tile_n, n)))
+    return tiles

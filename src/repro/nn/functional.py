@@ -14,15 +14,20 @@ path: the im2col unfold is written into a reused, shape-keyed
 :class:`Workspace` buffer in ``(C_in*kh*kw, N*L)`` layout so that one large
 BLAS GEMM replaces N small batched matmuls.  Reusing buffers avoids the
 page-fault cost of freshly mmap'd allocations, which on this engine is
-larger than the GEMM themselves for early layers.  Set
+larger than the GEMM themselves for early layers.  The GEMM itself runs
+through :mod:`repro.nn.engine` — cache-blocked (M, N) tiles on a persistent
+multicore worker pool, with the conv bias (post-folding: the BN affine) and
+an optionally fused ReLU applied inside each tile — and degrades to the
+single inline BLAS call when one worker is configured.  Set
 ``REPRO_DISABLE_FAST_PATH=1`` to force the reference path (useful for
 bisecting regressions between kernel and orchestration layers).
 """
 
 from __future__ import annotations
 
+import contextlib
 import os
-from typing import Dict, Optional, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -41,6 +46,8 @@ __all__ = [
     "col2im",
     "Workspace",
     "workspace",
+    "current_arena",
+    "use_arena",
     "fast_path_enabled",
 ]
 
@@ -93,6 +100,11 @@ class Workspace:
             self._slabs[tag] = slab
         return slab[:nbytes].view(dtype).reshape(shape)
 
+    def release(self, tag: str) -> None:
+        """Lifetime mark: ``tag``'s buffer is dead.  No-op here; the static
+        planner (:class:`repro.nn.engine.PlannedArena`) uses these marks to
+        let lifetime-disjoint tags share one slab."""
+
     def clear(self) -> None:
         """Drop every cached slab (frees the memory)."""
         self._slabs.clear()
@@ -112,6 +124,55 @@ _WORKSPACE = Workspace()
 def workspace() -> Workspace:
     """The process-wide workspace arena used by the inference fast path."""
     return _WORKSPACE
+
+
+_ARENA_STACK: List[Workspace] = []
+
+
+def current_arena() -> Workspace:
+    """The arena fast-path kernels should allocate from.
+
+    Defaults to the process-wide :func:`workspace`; a compiled model pushes
+    its own planned arena for the duration of each forward via
+    :func:`use_arena`.
+    """
+    return _ARENA_STACK[-1] if _ARENA_STACK else _WORKSPACE
+
+
+@contextlib.contextmanager
+def use_arena(arena):
+    """Route fast-path scratch allocations to ``arena`` inside the block."""
+    _ARENA_STACK.append(arena)
+    try:
+        yield arena
+    finally:
+        _ARENA_STACK.pop()
+
+
+def _after_fork_in_child() -> None:
+    """Reset fast-path state inherited over ``fork``.
+
+    Orchestrator (and tile-pool) children must never serve views of a slab
+    the parent is concurrently writing, and must never talk to worker pools
+    they do not own: drop every arena buffer and forget — without tearing
+    down — the engine singleton's inherited pool handles.
+    """
+    _WORKSPACE.clear()
+    del _ARENA_STACK[:]
+    import sys
+
+    if "repro.nn.engine.gemm" in sys.modules:
+        from .engine.gemm import reset_engine
+
+        reset_engine(in_child=True)
+    if "repro.nn.engine.planner" in sys.modules:
+        from .engine.planner import clear_all_arenas
+
+        clear_all_arenas()
+
+
+if hasattr(os, "register_at_fork"):  # pragma: no branch
+    os.register_at_fork(after_in_child=_after_fork_in_child)
 
 
 def _pair(value: IntPair) -> Tuple[int, int]:
@@ -264,6 +325,7 @@ def _im2col_gemm(
     )
     buf = arena.get("cols_gemm", (n * out_h * out_w, kh * kw * c), x.dtype)
     np.copyto(buf.reshape(n, out_h, out_w, kh, kw, c), view)
+    arena.release("pad")  # the unfold was the padded image's last reader
     return buf
 
 
@@ -314,8 +376,9 @@ def _conv2d_infer(
     groups: int,
     out_h: int,
     out_w: int,
+    activation: Optional[str] = None,
 ) -> np.ndarray:
-    """No-grad conv forward: arena-backed unfold + one large GEMM.
+    """No-grad conv forward: arena-backed unfold + one tiled GEMM.
 
     The GEMM computes ``(N*L, K) @ (K, C_out)`` and its result is *kept* in
     channels-last (NHWC) storage: the returned array is a logically-``(N,
@@ -324,11 +387,15 @@ def _conv2d_infer(
     that layout through the BN/activation/residual ops that follow, and the
     next conv's unfold reads it back for free, so the layout is
     self-sustaining across a whole eval forward.  All intermediates (padded
-    input, unfolded columns, transposed weights) live in the workspace
-    arena; only the GEMM result, which escapes into the caller's graph, is
-    freshly allocated.
+    input, unfolded columns, transposed weights) live in the active arena;
+    only the GEMM result, which escapes into the caller's graph, is freshly
+    allocated.  The GEMM plus its bias/``activation`` epilogue runs through
+    the tiled multicore engine (:mod:`repro.nn.engine`), which degrades to
+    the same single inline BLAS call when one worker is configured.
     """
-    arena = _WORKSPACE
+    from .engine.gemm import engine as _engine
+
+    arena = current_arena()
     n, c_in = x.shape[0], x.shape[1]
     c_out, c_in_per_group, kh, kw = weight.shape
     length = out_h * out_w
@@ -354,21 +421,24 @@ def _conv2d_infer(
             else:
                 w_mat = arena.get("wmat", (k_flat, c_out), weight.dtype)
                 np.copyto(w_mat.reshape(kh, kw, c_in, c_out), wt)
-        gemm = np.empty((n * length, c_out), dtype=x.dtype)
-        np.matmul(cols, w_mat, out=gemm)
-        if bias is not None:
-            gemm += bias
+        gemm = _engine().execute(cols, w_mat, bias=bias, activation=activation)
+        arena.release("cols_gemm")
+        arena.release("wmat")
         return gemm.reshape(n, out_h, out_w, c_out).transpose(0, 3, 1, 2)
 
     k_per_group = c_in_per_group * kh * kw
     buf = arena.get("cols", (n, c_in * kh * kw, length), x.dtype)
     cols = im2col(x, (kh, kw), stride, padding, out=buf, arena=arena)
+    arena.release("pad")  # out= forces a copy, so the unfold never aliases pad
     cols_g = cols.reshape(n, groups, k_per_group, length)
     w_mat = weight.reshape(groups, c_out // groups, -1)
     out = np.einsum("gok,ngkl->ngol", w_mat, cols_g, optimize=True)
     out = np.ascontiguousarray(out).reshape(n, c_out, out_h, out_w)
+    arena.release("cols")
     if bias is not None:
         out += bias.reshape(1, c_out, 1, 1)
+    if activation == "relu":
+        np.maximum(out, 0.0, out=out)
     return out
 
 
@@ -379,6 +449,7 @@ def conv2d(
     stride: IntPair = 1,
     padding: IntPair = 0,
     groups: int = 1,
+    activation: Optional[str] = None,
 ) -> Tensor:
     """2-D cross-correlation over a batch of images.
 
@@ -395,6 +466,12 @@ def conv2d(
     groups:
         Channel groups; ``groups == C_in`` with ``C_out == C_in`` gives a
         depthwise convolution.
+    activation:
+        Optional epilogue activation (``"relu"``) fused into the GEMM tile
+        loop.  Inference-only: set by :class:`repro.nn.inference
+        .CompiledInference` for traced conv→BN→ReLU chains; requesting it
+        on a gradient-requiring call is an error (no backward is recorded
+        for the fused activation).
     """
     stride = _pair(stride)
     padding = _pair(padding)
@@ -417,6 +494,11 @@ def conv2d(
         or weight.requires_grad
         or (bias is not None and bias.requires_grad)
     )
+    if activation is not None and needs_grad:
+        raise ValueError(
+            "conv2d(activation=...) is an inference-only fusion; it cannot be "
+            "used on a gradient-requiring call"
+        )
     if not needs_grad and fast_path_enabled():
         out = _conv2d_infer(
             x.data,
@@ -427,6 +509,7 @@ def conv2d(
             groups,
             out_h,
             out_w,
+            activation,
         )
         return Tensor(out)
 
@@ -454,6 +537,8 @@ def conv2d(
     out = out.reshape(n, c_out, out_h, out_w)
     if bias is not None:
         out = out + bias.data.reshape(1, c_out, 1, 1)
+    if activation == "relu":  # no-grad only: the needs_grad case raised above
+        out = np.maximum(out, 0.0)
 
     x_shape = x.shape
     parents = (x, weight) if bias is None else (x, weight, bias)

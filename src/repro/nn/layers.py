@@ -58,6 +58,11 @@ class Conv2d(Module):
         Generator for deterministic initialization.
     """
 
+    # Set by repro.nn.inference while a traced conv→BN→ReLU chain is folded:
+    # the activation is applied inside the conv's GEMM tile loop and the
+    # downstream ReLU module becomes a passthrough.
+    _fused_activation: Optional[str] = None
+
     def __init__(
         self,
         in_channels: int,
@@ -87,7 +92,13 @@ class Conv2d(Module):
 
     def forward(self, x: Tensor) -> Tensor:
         return F.conv2d(
-            x, self.weight, self.bias, stride=self.stride, padding=self.padding, groups=self.groups
+            x,
+            self.weight,
+            self.bias,
+            stride=self.stride,
+            padding=self.padding,
+            groups=self.groups,
+            activation=self._fused_activation,
         )
 
     def __repr__(self) -> str:
@@ -269,7 +280,13 @@ class Flatten(Module):
 
 
 class ReLU(Module):
+    # Set by repro.nn.inference while this activation is fused into the
+    # preceding convolution's GEMM epilogue; the module then acts as identity.
+    _folded_passthrough: bool = False
+
     def forward(self, x: Tensor) -> Tensor:
+        if self._folded_passthrough and not self.training:
+            return x
         return x.relu()
 
 

@@ -1,0 +1,213 @@
+"""Property-based equivalence tests for the tiled GEMM engine.
+
+Mirrors ``test_property_fastpath.py`` but forces the tiled executor to
+engage (2 workers, tiny tile override, parallel-threshold zeroed) so that
+every hypothesis-drawn conv actually exercises the tile split and the fused
+bias/ReLU epilogue, then requires agreement with the reference kernels
+within the PR 2 float32 tolerances.  The thread backend is used here so
+each example stays cheap; the process backend shares the same tile kernel
+and is covered by tests/nn/test_engine.py.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models.pruning_utils import FilterRef, PruningMask
+from repro.nn import BatchNorm2d, Conv2d, Linear, Module, ReLU, Tensor, no_grad
+from repro.nn.engine import BACKEND_ENV, TILE_ENV, WORKERS_ENV, engine, reset_engine
+from repro.nn.engine import gemm as gemm_mod
+from repro.nn.functional import FAST_PATH_ENV
+from repro.nn.inference import compile_for_inference
+
+_FORCE_ENV = {WORKERS_ENV: "2", BACKEND_ENV: "thread", TILE_ENV: "8x8"}
+
+
+@contextlib.contextmanager
+def engine_forced():
+    """Make even tiny GEMMs take the tiled 2-worker path."""
+    saved = {key: os.environ.get(key) for key in _FORCE_ENV}
+    saved_flops = gemm_mod.MIN_PARALLEL_FLOPS
+    os.environ.update(_FORCE_ENV)
+    gemm_mod.MIN_PARALLEL_FLOPS = 0
+    try:
+        yield
+    finally:
+        gemm_mod.MIN_PARALLEL_FLOPS = saved_flops
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+
+
+@contextlib.contextmanager
+def reference_path():
+    """Force the reference kernels for the duration of the block."""
+    previous = os.environ.get(FAST_PATH_ENV)
+    os.environ[FAST_PATH_ENV] = "1"
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop(FAST_PATH_ENV, None)
+        else:
+            os.environ[FAST_PATH_ENV] = previous
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _teardown_engine():
+    yield
+    reset_engine()
+
+
+conv_cases = st.builds(
+    dict,
+    n=st.integers(1, 3),
+    cin=st.integers(1, 6),
+    cout_mult=st.integers(1, 3),
+    kernel=st.integers(1, 4),
+    stride=st.integers(1, 3),
+    padding=st.integers(0, 2),
+    size=st.integers(4, 10),
+    seed=st.integers(0, 2**16),
+    bias=st.booleans(),
+)
+
+
+def _conv_case(case, groups):
+    rng = np.random.default_rng(case["seed"])
+    cin = case["cin"] * groups
+    cout = case["cout_mult"] * groups
+    k, s, p = case["kernel"], case["stride"], case["padding"]
+    size = max(case["size"], k)  # guarantee a positive output size
+    conv = Conv2d(cin, cout, k, stride=s, padding=p, groups=groups, bias=case["bias"], rng=rng)
+    x = rng.standard_normal((case["n"], cin, size, size)).astype(np.float32)
+    return conv, x
+
+
+@settings(max_examples=30, deadline=None)
+@given(conv_cases)
+def test_tiled_conv_matches_reference(case):
+    conv, x = _conv_case(case, groups=1)
+    with engine_forced(), no_grad():
+        tiled = conv(Tensor(x)).data
+    with reference_path(), no_grad():
+        reference = conv(Tensor(x)).data
+    np.testing.assert_allclose(tiled, reference, rtol=1e-4, atol=1e-5)
+
+
+@settings(max_examples=20, deadline=None)
+@given(conv_cases, st.integers(2, 4))
+def test_grouped_conv_under_engine_matches_reference(case, groups):
+    conv, x = _conv_case(case, groups)
+    with engine_forced(), no_grad():
+        tiled = conv(Tensor(x)).data
+    with reference_path(), no_grad():
+        reference = conv(Tensor(x)).data
+    np.testing.assert_allclose(tiled, reference, rtol=1e-4, atol=1e-5)
+
+
+@settings(max_examples=25, deadline=None)
+@given(conv_cases)
+def test_fused_relu_epilogue_matches_separate_relu(case):
+    conv, x = _conv_case(case, groups=1)
+    conv._fused_activation = "relu"
+    try:
+        with engine_forced(), no_grad():
+            fused = conv(Tensor(x)).data
+    finally:
+        conv._fused_activation = None
+    with reference_path(), no_grad():
+        reference = conv(Tensor(x)).relu().data
+    np.testing.assert_allclose(fused, reference, rtol=1e-4, atol=1e-5)
+
+
+class _FoldNet(Module):
+    def __init__(self, cin, mid, size, seed):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.conv = Conv2d(cin, mid, 3, padding=1, rng=rng)
+        self.bn = BatchNorm2d(mid)
+        self.relu = ReLU()
+        self.fc = Linear(mid * size * size, 4, rng=rng)
+        # Non-trivial BN statistics, otherwise folding is an identity map.
+        self.bn.running_mean[:] = rng.standard_normal(mid).astype(np.float32)
+        self.bn.running_var[:] = (0.5 + rng.uniform(0.1, 2.0, mid)).astype(np.float32)
+        self.bn.weight.data[:] = rng.standard_normal(mid).astype(np.float32)
+        self.bn.bias.data[:] = rng.standard_normal(mid).astype(np.float32)
+
+    def forward(self, x):
+        h = self.relu(self.bn(self.conv(x)))
+        return self.fc(h.reshape(h.shape[0], -1))
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    cin=st.integers(1, 4),
+    mid=st.integers(1, 6),
+    size=st.integers(3, 7),
+    n=st.integers(1, 4),
+    seed=st.integers(0, 2**16),
+)
+def test_folded_fused_model_matches_reference(cin, mid, size, n, seed):
+    model = _FoldNet(cin, mid, size, seed)
+    model.eval()
+    rng = np.random.default_rng(seed + 1)
+    x = rng.standard_normal((n, cin, size, size)).astype(np.float32)
+    with reference_path(), no_grad():
+        reference = model(Tensor(x)).data
+    compiled = compile_for_inference(model, Tensor(x[:1]))
+    assert compiled.num_folded == 1
+    assert compiled.num_fused_activations == 1
+    with engine_forced():
+        out = compiled(Tensor(x)).data
+    np.testing.assert_allclose(out, reference, rtol=1e-3, atol=1e-4)
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    mid=st.integers(2, 6),
+    filter_index=st.integers(0, 5),
+    seed=st.integers(0, 2**16),
+)
+def test_pruned_filters_under_engine_match_reference(mid, filter_index, seed):
+    model = _FoldNet(3, mid, 5, seed)
+    model.eval()
+    rng = np.random.default_rng(seed + 1)
+    x = rng.standard_normal((2, 3, 5, 5)).astype(np.float32)
+    compiled = compile_for_inference(model, Tensor(x[:1]))
+    with engine_forced():
+        baseline = compiled(Tensor(x)).data.copy()
+
+    mask = PruningMask(model)
+    target = FilterRef("conv", filter_index % mid)
+    saved = mask.prune(target)
+    with reference_path(), no_grad():
+        pruned_reference = model(Tensor(x)).data
+    with engine_forced():
+        pruned = compiled(Tensor(x)).data
+    np.testing.assert_allclose(pruned, pruned_reference, rtol=1e-3, atol=1e-4)
+    mask.unprune(target, saved)
+    with engine_forced():
+        restored = compiled(Tensor(x)).data
+    np.testing.assert_allclose(restored, baseline, rtol=1e-5, atol=1e-6)
+
+
+def test_large_conv_actually_tiles():
+    """Sanity guard: the forcing harness really engages the tiled path."""
+    rng = np.random.default_rng(7)
+    conv = Conv2d(8, 16, 3, padding=1, rng=rng)
+    x = rng.standard_normal((4, 8, 16, 16)).astype(np.float32)
+    with engine_forced(), no_grad():
+        conv(Tensor(x))
+    last = engine().last
+    assert last.get("backend") == "thread"
+    assert last.get("workers") == 2
+    assert last.get("tiles", 0) > 1
