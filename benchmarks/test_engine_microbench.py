@@ -126,6 +126,7 @@ from repro.nn import no_grad
 from repro.nn.engine import WORKERS_ENV, engine, reset_engine
 from repro.nn.functional import FAST_PATH_ENV
 from repro.nn.inference import compile_for_inference
+from repro.utils.timing import best_of_seconds
 
 from conftest import OUT_DIR
 
@@ -169,16 +170,8 @@ def _reference_path():
             os.environ[FAST_PATH_ENV] = previous
 
 
-def _best_seconds(fn, repeats=5, number=3):
-    """Best-of-``repeats`` mean over ``number`` calls (first call warms up)."""
-    fn()
-    best = float("inf")
-    for _ in range(repeats):
-        start = time.perf_counter()
-        for _ in range(number):
-            fn()
-        best = min(best, (time.perf_counter() - start) / number)
-    return best
+# Shared micro-benchmark timing primitive (see repro.utils.timing).
+_best_seconds = best_of_seconds
 
 
 def _record(name, fast_s, reference_s, max_abs_err, **extra):

@@ -16,7 +16,6 @@ multi-core machines see the actual scale-out.
 import dataclasses
 import json
 import os
-import time
 
 import pytest
 from conftest import OUT_DIR
@@ -25,6 +24,7 @@ from repro.eval import BenchmarkRunner, ScenarioCache, TrialCache, run_experimen
 from repro.eval.experiments import QUICK_PROFILE, ExperimentSpec
 from repro.orchestrator import Orchestrator, OrchestratorConfig
 from repro.orchestrator.orchestrator import build_experiment_dag
+from repro.utils import Timer
 
 pytestmark = pytest.mark.bench
 
@@ -56,9 +56,9 @@ def test_orchestrator_vs_serial(tmp_path):
         trial_cache=TrialCache(str(tmp_path / "serial_trials")),
         verbose=False,
     )
-    start = time.perf_counter()
-    serial = run_experiment(spec, runner=serial_runner)
-    serial_s = time.perf_counter() - start
+    with Timer() as serial_timer:
+        serial = run_experiment(spec, runner=serial_runner)
+    serial_s = serial_timer.elapsed
 
     orchestrator = Orchestrator(
         OrchestratorConfig(
@@ -69,9 +69,9 @@ def test_orchestrator_vs_serial(tmp_path):
             verbose=False,
         )
     )
-    start = time.perf_counter()
-    orchestrated = orchestrator.run(spec)
-    orchestrated_s = time.perf_counter() - start
+    with Timer() as orchestrated_timer:
+        orchestrated = orchestrator.run(spec)
+    orchestrated_s = orchestrated_timer.elapsed
 
     assert orchestrated.ok
     serial_aggs = serial.results["preact_resnet18"]["badnets"]

@@ -9,6 +9,8 @@ Examples::
     python -m repro orchestrate table1 --workers 4    # parallel, fault-tolerant
     python -m repro orchestrate table1 --workers 4 --resume   # finish a crashed run
     python -m repro attack badnets --model vgg19_bn   # train + report baseline
+    python -m repro serve --strip --traffic adversarial   # defense-serving gateway
+    python -m repro serve --http 8080                 # JSON-over-HTTP front
 """
 
 from __future__ import annotations
@@ -102,6 +104,46 @@ def build_parser() -> argparse.ArgumentParser:
     defend.add_argument("--spc", type=int, default=10)
     defend.add_argument("--epochs", type=int, default=6)
     defend.add_argument("--seed", type=int, default=0)
+
+    serve = sub.add_parser(
+        "serve",
+        help="long-lived defense-serving gateway: micro-batched inference, "
+        "hot-swappable model registry, optional STRIP input filtering",
+    )
+    serve.add_argument("--model", choices=MODEL_NAMES, default="preact_resnet18")
+    serve.add_argument("--dataset", choices=("synth_cifar", "synth_gtsrb"), default="synth_cifar")
+    serve.add_argument(
+        "--registry", default=None,
+        help="model-registry directory (default: <cache dir>/registry)",
+    )
+    serve.add_argument("--alias", default="default", help="registry alias to serve and follow")
+    serve.add_argument(
+        "--workers", type=int, default=None,
+        help="tiled-engine worker processes (default: engine heuristics)",
+    )
+    serve.add_argument("--max-batch", type=int, default=32, help="micro-batch flush size")
+    serve.add_argument(
+        "--max-wait-ms", type=float, default=5.0,
+        help="deadline flush: max queueing delay for the oldest request",
+    )
+    serve.add_argument(
+        "--strip", action=argparse.BooleanOptionalAction, default=False,
+        help="STRIP entropy pre-filter (per-request clean/filtered verdicts)",
+    )
+    serve.add_argument(
+        "--bootstrap", action=argparse.BooleanOptionalAction, default=True,
+        help="publish a fresh --model checkpoint when the alias is empty",
+    )
+    serve.add_argument(
+        "--http", type=int, default=None, metavar="PORT",
+        help="also expose the gateway over HTTP on this port (0 = ephemeral)",
+    )
+    serve.add_argument(
+        "--traffic", choices=("steady", "bursty", "adversarial"), default=None,
+        help="drive the gateway with a synthetic traffic mix, print a report, exit",
+    )
+    serve.add_argument("--requests", type=int, default=96, help="requests per traffic mix")
+    serve.add_argument("--seed", type=int, default=0)
 
     claims = sub.add_parser(
         "claims", help="check paper-shape claims against stored benchmark results"
@@ -211,6 +253,114 @@ def _cmd_defend(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import json
+    import os
+
+    from .attacks import BadNetsAttack
+    from .data import make_synth_cifar, make_synth_gtsrb
+    from .nn.engine import WORKERS_ENV
+    from .serving import (
+        STANDARD_MIXES,
+        ModelRegistry,
+        ServeConfig,
+        ServingGateway,
+        TrafficGenerator,
+        TrafficMix,
+        serve_http,
+    )
+
+    if args.workers is not None:
+        os.environ[WORKERS_ENV] = str(args.workers)
+
+    registry_dir = args.registry or os.path.join(
+        os.environ.get("REPRO_CACHE_DIR", os.path.expanduser("~/.cache/repro")), "registry"
+    )
+    registry = ModelRegistry(registry_dir)
+
+    num_classes = 10 if args.dataset == "synth_cifar" else 12
+    make = make_synth_cifar if args.dataset == "synth_cifar" else make_synth_gtsrb
+    _, pool = make(n_train=2, n_test=128, num_classes=num_classes, seed=args.seed)
+
+    if registry.resolve(args.alias) is None:
+        if not args.bootstrap:
+            print(f"alias {args.alias!r} is empty in {registry_dir} and --no-bootstrap is set")
+            return 1
+        from .models import build_model
+
+        print(f"alias {args.alias!r} empty; bootstrapping an untrained {args.model} "
+              "(publish a repaired checkpoint to replace it)")
+        registry.publish(
+            build_model(args.model, num_classes=num_classes, seed=args.seed),
+            args.model,
+            alias=args.alias,
+            factory_kwargs={"num_classes": num_classes, "seed": args.seed},
+            metadata={"bootstrap": True, "image_shape": list(pool.images.shape[1:])},
+        )
+
+    gateway = ServingGateway(
+        registry,
+        alias=args.alias,
+        config=ServeConfig(
+            max_batch=args.max_batch,
+            max_wait_ms=args.max_wait_ms,
+            strip=args.strip,
+            seed=args.seed,
+        ),
+        clean_pool=pool,
+    )
+    gateway.start()
+    print(f"serving {gateway.active_key} (alias={args.alias}, strip={args.strip}, "
+          f"max_batch={args.max_batch}, max_wait_ms={args.max_wait_ms})")
+
+    http_server = None
+    try:
+        if args.http is not None:
+            http_server = serve_http(gateway, port=args.http)
+            host, port = http_server.address
+            print(f"http front on http://{host}:{port} "
+                  "(POST /predict, POST /swap, GET /healthz, GET /stats)")
+
+        if args.traffic is not None:
+            mix = next(m for m in STANDARD_MIXES if m.name == args.traffic)
+            mix = TrafficMix(
+                name=mix.name,
+                num_requests=args.requests,
+                rate=mix.rate,
+                burst_size=mix.burst_size,
+                gap_s=mix.gap_s,
+                trigger_fraction=mix.trigger_fraction,
+            )
+            attack = (
+                BadNetsAttack(image_shape=pool.images.shape[1:], seed=args.seed)
+                if mix.trigger_fraction > 0
+                else None
+            )
+            generator = TrafficGenerator(pool.images, attack=attack, seed=args.seed)
+            report = generator.run(gateway, mix)
+            print(json.dumps(report.summary(), indent=2, sort_keys=True))
+            return 0
+
+        if args.http is not None:
+            print("serving until interrupted (ctrl-c to drain and exit)")
+            try:
+                while True:
+                    import time
+
+                    time.sleep(3600)
+            except KeyboardInterrupt:
+                print("draining...")
+            return 0
+
+        print("nothing to do: pass --traffic for a synthetic run or --http to serve")
+        return 0
+    finally:
+        if http_server is not None:
+            http_server.stop()
+        gateway.stop()
+        print(json.dumps({"final_stats": gateway.stats()}, indent=2, sort_keys=True))
+
+
 def _cmd_claims(args) -> int:
     import glob
     import json
@@ -251,6 +401,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_attack(args)
     if args.command == "defend":
         return _cmd_defend(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "claims":
         return _cmd_claims(args)
     raise AssertionError(f"unhandled command {args.command!r}")

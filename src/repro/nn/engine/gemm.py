@@ -101,6 +101,10 @@ class TiledGemmEngine:
         self._slabs: Optional[SharedSlabs] = None
         # Telemetry of the most recent execute(): how the work was split.
         self.last: Dict[str, object] = {}
+        # Cumulative since construction (or forked-child reset): long-lived
+        # callers — the serving gateway's stats endpoint, soak benches —
+        # read these to see how much work actually tiled out.
+        self.totals: Dict[str, int] = {"calls": 0, "inline_calls": 0, "tiled_calls": 0, "tiles": 0}
 
     # ------------------------------------------------------------------
     # Pool lifecycle
@@ -141,6 +145,7 @@ class TiledGemmEngine:
             self._slabs.close()  # pid-guarded: only clears the dict in a child
             self._slabs = None
         self.last = {}
+        self.totals = {"calls": 0, "inline_calls": 0, "tiled_calls": 0, "tiles": 0}
 
     # ------------------------------------------------------------------
     # Execution
@@ -167,17 +172,22 @@ class TiledGemmEngine:
         if out is None:
             out = np.empty((m, n), dtype=a.dtype)
 
+        self.totals["calls"] += 1
         workers = resolve_workers()
         if workers == 1 or 2 * m * n * k < MIN_PARALLEL_FLOPS:
+            self.totals["inline_calls"] += 1
             return self._inline(a, b, bias, activation, out)
 
         tile_m, tile_n = choose_tile_shape(m, n, k, a.itemsize, workers)
         tiles = tile_grid(m, n, tile_m, tile_n)
         if len(tiles) == 1:
+            self.totals["inline_calls"] += 1
             return self._inline(a, b, bias, activation, out)
 
         backend = resolve_backend()
         pool = self._ensure_pool(backend, workers)
+        self.totals["tiled_calls"] += 1
+        self.totals["tiles"] += len(tiles)
         self.last = {
             "backend": backend,
             "workers": workers,

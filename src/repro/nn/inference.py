@@ -290,6 +290,29 @@ class CompiledInference:
         self._folded = None
 
     # ------------------------------------------------------------------
+    # Hot-swap preparation
+    # ------------------------------------------------------------------
+    def prefold(self) -> "CompiledInference":
+        """Fold eagerly instead of on the first call.
+
+        The serving gateway prepares a replacement checkpoint *off* the
+        request path: folding here means the first post-swap batch pays no
+        fold latency.
+        """
+        self._ensure_folded()
+        return self
+
+    def warmup(self, example_input) -> "CompiledInference":
+        """Prefold and run one folded forward to trace the arena plan.
+
+        After this, the first production batch of the same shape runs
+        entirely from preplanned slabs.  The warmup output is discarded.
+        """
+        self.prefold()
+        self(example_input)
+        return self
+
+    # ------------------------------------------------------------------
     # Folding mechanics
     # ------------------------------------------------------------------
     def _ensure_folded(self) -> None:

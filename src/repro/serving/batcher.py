@@ -1,0 +1,244 @@
+"""Dynamic micro-batching request queue for the serving gateway.
+
+Single-image requests are the natural unit for callers, but the worst
+possible unit for the numpy substrate: a batch-1 forward pays the full
+Python/layer dispatch overhead per image and leaves the im2col GEMM too
+small to tile.  The :class:`MicroBatcher` turns an open stream of requests
+into batches the fast path was built for, with the classic two-trigger
+flush rule:
+
+- **size**: a batch closes the moment ``max_batch`` requests are pending;
+- **deadline**: otherwise it closes when the *oldest* pending request has
+  waited ``max_wait_ms`` — bounding added latency when traffic stalls below
+  the batch size.
+
+One daemon drain thread owns batch assembly and the downstream
+``process_batch`` callback, so the model only ever runs on one thread and
+needs no internal locking.  ``submit`` is thread-safe and wait-free (a
+``queue.Queue`` put) and returns a :class:`concurrent.futures.Future`.
+
+Shutdown is *drain-by-default*: ``close()`` refuses new submissions, lets
+the drain thread flush everything already accepted (the sentinel is
+enqueued strictly after every accepted request), and joins the thread — no
+request accepted before ``close()`` is ever dropped.  If ``process_batch``
+raises, the exception is delivered to each affected request's future
+instead of killing the drain loop.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from collections import Counter
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from ..utils.logging import get_logger
+
+__all__ = ["MicroBatcher", "BatchRequest", "BatcherStats"]
+
+_LOG = get_logger("repro.serving.batcher")
+
+_STOP = object()
+
+
+@dataclass
+class BatchRequest:
+    """One queued request: the payload plus its future and queue timestamps."""
+
+    payload: Any
+    future: Future
+    enqueued_at: float
+    started_at: Optional[float] = None
+
+    @property
+    def queued_ms(self) -> float:
+        start = self.started_at if self.started_at is not None else time.perf_counter()
+        return (start - self.enqueued_at) * 1e3
+
+
+@dataclass
+class BatcherStats:
+    """Counters the drain thread maintains (snapshot via :meth:`MicroBatcher.stats`)."""
+
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    batches: int = 0
+    batch_size_histogram: Dict[int, int] = field(default_factory=Counter)
+    flush_reasons: Dict[str, int] = field(default_factory=Counter)
+
+
+class MicroBatcher:
+    """Queue single requests, deliver micro-batches to ``process_batch``.
+
+    Parameters
+    ----------
+    process_batch:
+        ``process_batch(requests: List[BatchRequest]) -> None``; must
+        resolve every request's future (the batcher resolves them with the
+        callback's exception if it raises).
+    max_batch:
+        Flush when this many requests are pending.
+    max_wait_ms:
+        Flush when the oldest pending request has waited this long.
+    """
+
+    def __init__(
+        self,
+        process_batch: Callable[[List[BatchRequest]], None],
+        max_batch: int = 32,
+        max_wait_ms: float = 5.0,
+        name: str = "microbatcher",
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_wait_ms < 0:
+            raise ValueError(f"max_wait_ms must be >= 0, got {max_wait_ms}")
+        self.process_batch = process_batch
+        self.max_batch = int(max_batch)
+        self.max_wait_s = float(max_wait_ms) / 1e3
+        self.name = name
+        self._queue: "queue.Queue" = queue.Queue()
+        self._submit_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+        self._stats = BatcherStats()
+        self._closed = False
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "MicroBatcher":
+        if self._thread is not None:
+            raise RuntimeError("batcher already started")
+        self._thread = threading.Thread(target=self._drain_loop, name=self.name, daemon=True)
+        self._thread.start()
+        return self
+
+    def close(self, timeout: Optional[float] = None) -> None:
+        """Refuse new work, drain everything accepted, join the thread."""
+        with self._submit_lock:
+            if self._closed:
+                thread = self._thread
+                if thread is not None:
+                    thread.join(timeout)
+                return
+            self._closed = True
+            # Under the lock no submit can interleave: the sentinel lands
+            # strictly after every accepted request.
+            self._queue.put(_STOP)
+        if self._thread is not None:
+            self._thread.join(timeout)
+            if self._thread.is_alive():
+                raise TimeoutError(f"{self.name} failed to drain within {timeout}s")
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(self, payload: Any) -> "Future":
+        """Enqueue one request; resolves when its micro-batch is processed."""
+        future: Future = Future()
+        request = BatchRequest(payload=payload, future=future, enqueued_at=time.perf_counter())
+        with self._submit_lock:
+            if self._closed:
+                raise RuntimeError(f"{self.name} is closed")
+            self._queue.put(request)
+        with self._stats_lock:
+            self._stats.submitted += 1
+        return future
+
+    # ------------------------------------------------------------------
+    # Drain thread
+    # ------------------------------------------------------------------
+    def _drain_loop(self) -> None:
+        pending: List[BatchRequest] = []
+        stopping = False
+        while True:
+            # Greedily absorb everything already queued (up to max_batch):
+            # requests that piled up while the previous batch was running
+            # form the next batch instead of dribbling out one-per-flush
+            # through already-expired deadlines.
+            while len(pending) < self.max_batch:
+                try:
+                    item = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if item is _STOP:
+                    stopping = True  # sentinel is strictly last (see close())
+                else:
+                    pending.append(item)
+            if len(pending) >= self.max_batch:
+                self._flush(pending, "full")
+                pending = []
+                continue
+            if stopping:
+                if pending:
+                    self._flush(pending, "drain")
+                    pending = []
+                break
+            # The queue is empty; the deadline only starts mattering now.
+            if pending:
+                remaining = pending[0].enqueued_at + self.max_wait_s - time.perf_counter()
+                if remaining <= 0:
+                    self._flush(pending, "deadline")
+                    pending = []
+                    continue
+                try:
+                    item = self._queue.get(timeout=remaining)
+                except queue.Empty:
+                    self._flush(pending, "deadline")
+                    pending = []
+                    continue
+            else:
+                item = self._queue.get()
+            if item is _STOP:
+                stopping = True
+            else:
+                pending.append(item)
+
+    def _flush(self, batch: List[BatchRequest], reason: str) -> None:
+        now = time.perf_counter()
+        for request in batch:
+            request.started_at = now
+        try:
+            self.process_batch(batch)
+            failed = 0
+        except Exception as exc:  # noqa: BLE001 — delivered to the futures
+            failed = 0
+            for request in batch:
+                if not request.future.done():
+                    request.future.set_exception(exc)
+                    failed += 1
+            _LOG.warning("batch of %d failed: %s", len(batch), exc)
+        unresolved = [r for r in batch if not r.future.done()]
+        for request in unresolved:
+            request.future.set_exception(
+                RuntimeError("process_batch returned without resolving this request")
+            )
+        with self._stats_lock:
+            self._stats.batches += 1
+            self._stats.batch_size_histogram[len(batch)] += 1
+            self._stats.flush_reasons[reason] += 1
+            self._stats.failed += failed + len(unresolved)
+            self._stats.completed += len(batch) - failed - len(unresolved)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        with self._stats_lock:
+            return {
+                "submitted": self._stats.submitted,
+                "completed": self._stats.completed,
+                "failed": self._stats.failed,
+                "batches": self._stats.batches,
+                "batch_size_histogram": dict(self._stats.batch_size_histogram),
+                "flush_reasons": dict(self._stats.flush_reasons),
+            }

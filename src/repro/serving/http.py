@@ -1,0 +1,137 @@
+"""Minimal stdlib HTTP front for the serving gateway.
+
+A thin JSON-over-HTTP adapter so the gateway can be poked with ``curl``
+(see the README "Serving" section).  Endpoints:
+
+- ``POST /predict`` — body ``{"image": [[[...]]]}`` (one ``(C, H, W)``
+  nested list); responds with the :class:`~repro.serving.gateway.Verdict`
+  as JSON.
+- ``POST /swap`` — body ``{"key": "model-..."}`` or ``{}`` to re-resolve
+  the gateway's alias; responds ``{"swapped": bool, "model_key": ...}``.
+- ``GET /healthz`` — liveness + active checkpoint key.
+- ``GET /stats`` — the gateway's live telemetry.
+
+Built on :class:`http.server.ThreadingHTTPServer`: each connection gets a
+handler thread that parks on the request future while the micro-batcher
+aggregates across connections — concurrency comes from the batcher, not
+from the HTTP layer.  This is a demo/ops surface, not a hardened proxy;
+put a real terminator in front of it for anything internet-facing.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..utils.logging import get_logger
+from .gateway import ServingGateway
+
+__all__ = ["GatewayHTTPServer", "serve_http"]
+
+_LOG = get_logger("repro.serving.http")
+
+
+class _Handler(BaseHTTPRequestHandler):
+    gateway: ServingGateway  # set on the per-server subclass
+    request_timeout_s: float = 30.0
+
+    # Quiet the default per-request stderr lines; the gateway logs instead.
+    def log_message(self, format, *args):  # noqa: A002 — stdlib signature
+        pass
+
+    def _reply(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> Optional[dict]:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b"{}"
+        try:
+            doc = json.loads(raw or b"{}")
+        except json.JSONDecodeError:
+            self._reply(400, {"error": "body is not valid JSON"})
+            return None
+        if not isinstance(doc, dict):
+            self._reply(400, {"error": "body must be a JSON object"})
+            return None
+        return doc
+
+    def do_GET(self) -> None:  # noqa: N802 — stdlib casing
+        if self.path == "/healthz":
+            self._reply(200, {"status": "ok", "model_key": self.gateway.active_key})
+        elif self.path == "/stats":
+            self._reply(200, self.gateway.stats())
+        else:
+            self._reply(404, {"error": f"unknown path {self.path}"})
+
+    def do_POST(self) -> None:  # noqa: N802 — stdlib casing
+        doc = self._read_json()
+        if doc is None:
+            return
+        if self.path == "/predict":
+            self._predict(doc)
+        elif self.path == "/swap":
+            self._swap(doc)
+        else:
+            self._reply(404, {"error": f"unknown path {self.path}"})
+
+    def _predict(self, doc: dict) -> None:
+        if "image" not in doc:
+            self._reply(400, {"error": "missing 'image'"})
+            return
+        try:
+            image = np.asarray(doc["image"], dtype=np.float32)
+            verdict = self.gateway.classify(image, timeout=self.request_timeout_s)
+        except (ValueError, RuntimeError) as exc:
+            self._reply(400, {"error": str(exc)})
+            return
+        self._reply(200, verdict.to_json())
+
+    def _swap(self, doc: dict) -> None:
+        try:
+            swapped = self.gateway.swap(doc.get("key"))
+        except KeyError as exc:
+            self._reply(404, {"error": str(exc)})
+            return
+        self._reply(200, {"swapped": swapped, "model_key": self.gateway.active_key})
+
+
+class GatewayHTTPServer:
+    """Owns the ThreadingHTTPServer and its serve thread."""
+
+    def __init__(self, gateway: ServingGateway, host: str = "127.0.0.1", port: int = 0) -> None:
+        handler = type("BoundHandler", (_Handler,), {"gateway": gateway})
+        self._server = ThreadingHTTPServer((host, port), handler)
+        self._server.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self._server.server_address[:2]
+
+    def start(self) -> "GatewayHTTPServer":
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, name="serve-http", daemon=True
+        )
+        self._thread.start()
+        _LOG.info("http front listening on %s:%d", *self.address)
+        return self
+
+    def stop(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+
+
+def serve_http(gateway: ServingGateway, host: str = "127.0.0.1", port: int = 0) -> GatewayHTTPServer:
+    """Start an HTTP front for ``gateway``; returns the running server."""
+    return GatewayHTTPServer(gateway, host=host, port=port).start()

@@ -1,0 +1,183 @@
+"""Content-addressed model registry for the defense-serving gateway.
+
+Repaired checkpoints are published into an :class:`~repro.orchestrator.
+artifacts.ArtifactStore` under a key derived from the checkpoint's own
+content — the architecture, its build kwargs, and a digest of every
+parameter/buffer array — so publishing the same repaired model twice is
+idempotent and two registries on the same directory agree about identity
+without coordination.
+
+Mutable *aliases* (``"default"``, ``"canary"``, …) map serve names to
+checkpoint keys through small JSON pointer documents in the same store.
+``put_json`` is atomic and, since the seal-before-publish protocol (see the
+artifacts module), safe against concurrent readers: a gateway polling
+:meth:`ModelRegistry.resolve` during a publish sees either the old or the
+new pointer, never a torn one.  That property is what makes zero-downtime
+hot-swap a pure data-plane concern for the gateway.
+
+The registry is model-zoo agnostic: checkpoints record the factory *name*
+plus kwargs, and :meth:`load` rebuilds through a caller-supplied factory
+(default: :func:`repro.models.build_model`), so tests can register tiny
+fixture architectures without touching the real zoo.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..models import build_model
+from ..orchestrator.artifacts import ArtifactStore, content_hash
+from ..utils.logging import get_logger
+
+__all__ = ["ModelRegistry", "RegisteredModel", "state_fingerprint"]
+
+_LOG = get_logger("repro.serving.registry")
+
+
+def state_fingerprint(state: Dict[str, np.ndarray]) -> str:
+    """Order-independent sha256 over a state dict's names, shapes, and bytes."""
+    digest = hashlib.sha256()
+    for name in sorted(state):
+        array = np.ascontiguousarray(state[name])
+        digest.update(name.encode())
+        digest.update(str(array.dtype).encode())
+        digest.update(str(array.shape).encode())
+        digest.update(array.tobytes())
+    return digest.hexdigest()
+
+
+@dataclass
+class RegisteredModel:
+    """A checkpoint loaded back out of the registry, ready to serve."""
+
+    key: str
+    model: Any  # repro.nn.Module
+    manifest: Dict[str, Any] = field(default_factory=dict)
+
+
+class ModelRegistry:
+    """Publish / resolve / load serving checkpoints over an artifact store.
+
+    Parameters
+    ----------
+    root_or_store:
+        Directory path or an existing :class:`ArtifactStore`.
+    factory:
+        ``factory(arch, **kwargs) -> Module`` used by :meth:`load`.
+    """
+
+    def __init__(
+        self,
+        root_or_store,
+        factory: Callable[..., Any] = None,
+    ) -> None:
+        if isinstance(root_or_store, ArtifactStore):
+            self.store = root_or_store
+        else:
+            self.store = ArtifactStore(str(root_or_store))
+        self.factory = factory if factory is not None else build_model
+
+
+    # ------------------------------------------------------------------
+    # Publishing
+    # ------------------------------------------------------------------
+    def publish(
+        self,
+        model,
+        arch: str,
+        *,
+        alias: Optional[str] = "default",
+        factory_kwargs: Optional[Dict[str, Any]] = None,
+        metadata: Optional[Dict[str, Any]] = None,
+    ) -> str:
+        """Store a checkpoint; returns its content key.
+
+        ``model`` is a module (``state_dict()`` is taken) or a state dict.
+        When ``alias`` is not None the alias pointer is atomically advanced
+        to the new key — a serving gateway watching that alias will pick the
+        checkpoint up on its next :meth:`resolve`/swap.
+        """
+        state = model if isinstance(model, dict) else model.state_dict()
+        kwargs = dict(factory_kwargs or {})
+        key = "model-" + content_hash(
+            {"arch": arch, "kwargs": kwargs, "state": state_fingerprint(state)}
+        )[:24]
+        manifest = {
+            "arch": arch,
+            "factory_kwargs": kwargs,
+            "state_fingerprint": state_fingerprint(state),
+            "num_arrays": len(state),
+            "metadata": dict(metadata or {}),
+            "published_at": time.time(),
+        }
+        if not self.store.has(key, ".npz"):
+            self.store.put_state(key, {k: np.asarray(v) for k, v in state.items()})
+        self.store.put_json(key, manifest)
+        if alias is not None:
+            self.set_alias(alias, key)
+        _LOG.info("published %s (arch=%s, alias=%s)", key, arch, alias)
+        return key
+
+    def set_alias(self, alias: str, key: str) -> None:
+        """Atomically point ``alias`` at ``key`` (key must exist)."""
+        if not self.store.has(key, ".npz"):
+            raise KeyError(f"cannot alias unknown checkpoint {key!r}")
+        self.store.put_json(self._alias_key(alias), {"key": key, "updated_at": time.time()})
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _alias_key(alias: str) -> str:
+        return f"alias-{alias}"
+
+    def resolve(self, alias: str) -> Optional[str]:
+        """Checkpoint key an alias currently points at (None if unset)."""
+        doc = self.store.get_json(self._alias_key(alias))
+        return doc["key"] if doc else None
+
+    def manifest(self, key: str) -> Optional[Dict[str, Any]]:
+        return self.store.get_json(key)
+
+    def keys(self) -> List[str]:
+        """All checkpoint keys present in the backing store."""
+        import os
+
+        names = set()
+        for entry in os.listdir(self.store.root):
+            if entry.startswith("model-") and entry.endswith(".npz"):
+                names.add(entry[: -len(".npz")])
+        return sorted(names)
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+    def load(self, key_or_alias: str) -> RegisteredModel:
+        """Rebuild a checkpoint into a fresh eval-mode module.
+
+        Accepts either a checkpoint key or an alias name.  Raises
+        :class:`KeyError` when nothing resolvable exists (including a
+        checkpoint whose artifact was dropped as corrupt — the caller
+        decides whether to re-publish or fall back).
+        """
+        key = key_or_alias
+        if not self.store.has(key, ".npz"):
+            resolved = self.resolve(key_or_alias)
+            if resolved is None:
+                raise KeyError(f"no checkpoint or alias named {key_or_alias!r}")
+            key = resolved
+        manifest = self.manifest(key)
+        if manifest is None:
+            raise KeyError(f"checkpoint {key!r} has no manifest")
+        state = self.store.get_state(key)
+        if state is None:
+            raise KeyError(f"checkpoint {key!r} is missing or corrupt")
+        model = self.factory(manifest["arch"], **manifest.get("factory_kwargs", {}))
+        model.load_state_dict(state)
+        model.eval()
+        return RegisteredModel(key=key, model=model, manifest=manifest)

@@ -10,6 +10,7 @@ from .strip import (
     StripResult,
     evaluate_filtered_inference,
     prediction_entropy,
+    strip_entropy_scores,
 )
 from .synthesized_attack import SynthesizedTriggerAttack, grad_prune_without_trigger
 
@@ -22,5 +23,6 @@ __all__ = [
     "StripDetector",
     "StripResult",
     "prediction_entropy",
+    "strip_entropy_scores",
     "evaluate_filtered_inference",
 ]

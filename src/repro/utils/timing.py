@@ -1,0 +1,127 @@
+"""Timing aggregation shared by microbenchmarks and the serving gateway.
+
+Every JSON the repo emits with latency numbers (``BENCH_engine.json``,
+``BENCH_orchestrator.json``, ``BENCH_serving.json``, the gateway's live
+``stats()``) should compute its percentiles through :func:`latency_summary`
+so "p99" means the same thing everywhere: linear-interpolated quantiles over
+the raw per-event samples, reported in milliseconds when the samples are.
+
+:func:`best_of_seconds` is the micro-benchmark primitive the engine bench
+has used since PR 2 (best mean over ``repeats`` timed groups of ``number``
+calls, first call warming caches), promoted here so other benches stop
+hand-rolling ``time.perf_counter`` loops.
+
+:func:`hard_timeout` is a wall-clock guard for tests that drive queues and
+worker threads: a wedged queue fails loudly with a :class:`TimeoutError`
+instead of hanging CI.  It uses ``SIGALRM`` in the main thread (exact,
+interrupts blocking waits) and falls back to ``_thread.interrupt_main``
+elsewhere.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import signal
+import threading
+import time
+from typing import Callable, Dict, Iterator, Sequence
+
+__all__ = ["percentiles", "latency_summary", "best_of_seconds", "hard_timeout"]
+
+
+def percentiles(samples: Sequence[float], qs: Sequence[float]) -> Dict[str, float]:
+    """Linear-interpolated percentiles keyed ``"p<q>"`` (e.g. ``"p99"``).
+
+    ``qs`` are percent values in [0, 100].  Empty input yields an empty dict
+    rather than NaNs so JSON stays clean when a mix served zero requests.
+    """
+    if not len(samples):
+        return {}
+    ordered = sorted(float(s) for s in samples)
+    result: Dict[str, float] = {}
+    last = len(ordered) - 1
+    for q in qs:
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile out of range: {q}")
+        pos = q / 100.0 * last
+        lo = int(pos)
+        hi = min(lo + 1, last)
+        frac = pos - lo
+        key = f"p{q:g}"
+        result[key] = ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+    return result
+
+
+def latency_summary(samples: Sequence[float], qs: Sequence[float] = (50.0, 90.0, 99.0)) -> Dict[str, float]:
+    """Count/mean/min/max plus :func:`percentiles` over latency samples."""
+    if not len(samples):
+        return {"count": 0}
+    values = [float(s) for s in samples]
+    summary: Dict[str, float] = {
+        "count": len(values),
+        "mean": sum(values) / len(values),
+        "min": min(values),
+        "max": max(values),
+    }
+    summary.update(percentiles(values, qs))
+    return summary
+
+
+def best_of_seconds(fn: Callable[[], object], repeats: int = 5, number: int = 3) -> float:
+    """Best mean seconds per call over ``repeats`` groups of ``number`` calls.
+
+    The first (untimed) call warms caches — BLAS thread pools, arenas,
+    tracing — so the measurement reflects steady state.
+    """
+    fn()
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(number):
+            fn()
+        best = min(best, (time.perf_counter() - start) / number)
+    return best
+
+
+@contextlib.contextmanager
+def hard_timeout(seconds: float, message: str = "wall-clock guard expired") -> Iterator[None]:
+    """Raise :class:`TimeoutError` in the protected block after ``seconds``.
+
+    Main thread: ``SIGALRM`` (interrupts blocking syscalls like
+    ``queue.get``).  Other threads / platforms without ``SIGALRM``: a
+    watchdog thread interrupts the main thread, which surfaces as
+    :class:`KeyboardInterrupt` converted here when the guard itself owns
+    the block.  Guards do not nest across both mechanisms.
+    """
+    use_alarm = (
+        hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if use_alarm:
+        def _on_alarm(signum, frame):
+            raise TimeoutError(f"{message} after {seconds:.1f}s")
+
+        previous = signal.signal(signal.SIGALRM, _on_alarm)
+        signal.setitimer(signal.ITIMER_REAL, seconds)
+        try:
+            yield
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, previous)
+    else:
+        import _thread
+
+        fired = threading.Event()
+
+        def _watchdog():
+            if not fired.wait(seconds):
+                _thread.interrupt_main()
+
+        watchdog = threading.Thread(target=_watchdog, daemon=True, name="hard-timeout")
+        watchdog.start()
+        try:
+            yield
+        except KeyboardInterrupt:
+            raise TimeoutError(f"{message} after {seconds:.1f}s") from None
+        finally:
+            fired.set()

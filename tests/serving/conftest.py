@@ -1,0 +1,71 @@
+"""Serving-gateway fixtures: tiny registries, gateways, and a wall-clock guard.
+
+Everything here is sized for the 8x8 three-class fixture task so a full
+gateway lifecycle (publish -> serve -> swap -> drain) stays sub-second.
+All queue-driving tests run under ``hard_timeout`` so a wedged drain
+thread fails loudly instead of hanging CI (satellite: CI timeout guard).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serving import ModelRegistry, ServeConfig, ServingGateway
+from repro.utils.timing import hard_timeout
+
+from tests.conftest import NUM_CLASSES, TinyConvNet, make_tiny_dataset
+
+# Hard ceiling for any single serving test; generous next to the <1s happy
+# path, tiny next to a CI-job hang.
+GUARD_SECONDS = 60.0
+
+
+def tiny_factory(arch: str, **kwargs) -> TinyConvNet:
+    """Registry factory for the fixture zoo (arch name is a formality)."""
+    assert arch == "tiny_convnet", arch
+    return TinyConvNet(num_classes=kwargs.get("num_classes", NUM_CLASSES),
+                       seed=kwargs.get("seed", 0))
+
+
+def publish_tiny(registry: ModelRegistry, seed: int = 0, alias: str = "default") -> str:
+    """Publish a freshly initialized TinyConvNet; returns its key."""
+    return registry.publish(
+        TinyConvNet(seed=seed),
+        "tiny_convnet",
+        alias=alias,
+        factory_kwargs={"num_classes": NUM_CLASSES, "seed": seed},
+        metadata={"image_shape": [3, 8, 8], "seed": seed},
+    )
+
+
+@pytest.fixture()
+def registry(tmp_path) -> ModelRegistry:
+    return ModelRegistry(str(tmp_path / "registry"), factory=tiny_factory)
+
+
+@pytest.fixture()
+def clean_pool():
+    return make_tiny_dataset(24, seed=11)
+
+
+@pytest.fixture()
+def gateway(registry, clean_pool):
+    """A started gateway serving a published TinyConvNet; stops on teardown."""
+    publish_tiny(registry, seed=0)
+    gw = ServingGateway(
+        registry,
+        config=ServeConfig(max_batch=8, max_wait_ms=20.0),
+        clean_pool=clean_pool,
+    )
+    with hard_timeout(GUARD_SECONDS, "gateway fixture wedged"):
+        gw.start()
+        yield gw
+        gw.stop()
+
+
+@pytest.fixture()
+def guard():
+    """Wall-clock guard context for queue-driving test bodies."""
+    with hard_timeout(GUARD_SECONDS, "serving test wedged"):
+        yield

@@ -1,0 +1,183 @@
+"""MicroBatcher: flush triggers, drain semantics, failure delivery."""
+
+import threading
+import time
+
+import pytest
+
+from repro.serving import MicroBatcher
+from repro.utils.timing import hard_timeout
+
+
+def _collecting_batcher(max_batch=4, max_wait_ms=15.0, delay_s=0.0):
+    batches = []
+
+    def process(requests):
+        if delay_s:
+            time.sleep(delay_s)
+        batches.append([r.payload for r in requests])
+        for r in requests:
+            r.future.set_result(r.payload)
+
+    return MicroBatcher(process, max_batch=max_batch, max_wait_ms=max_wait_ms), batches
+
+
+class TestFlushTriggers:
+    def test_flush_on_full_batch(self, guard):
+        batcher, batches = _collecting_batcher(max_batch=3, max_wait_ms=10_000.0)
+        batcher.start()
+        futures = [batcher.submit(i) for i in range(3)]
+        assert [f.result(timeout=30) for f in futures] == [0, 1, 2]
+        batcher.close(timeout=30)
+        # Despite the 10s deadline, the size trigger fired immediately.
+        assert batches[0] == [0, 1, 2]
+        assert batcher.stats()["flush_reasons"] == {"full": 1}
+
+    def test_deadline_flush_when_traffic_stalls(self, guard):
+        # Fewer requests than max_batch and no further traffic: only the
+        # deadline can flush them.
+        batcher, batches = _collecting_batcher(max_batch=64, max_wait_ms=30.0)
+        batcher.start()
+        start = time.perf_counter()
+        futures = [batcher.submit(i) for i in range(3)]
+        assert [f.result(timeout=30) for f in futures] == [0, 1, 2]
+        waited = time.perf_counter() - start
+        batcher.close(timeout=30)
+        assert batches == [[0, 1, 2]]
+        assert batcher.stats()["flush_reasons"] == {"deadline": 1}
+        assert waited >= 0.02  # sat out (most of) the deadline window
+
+    def test_backlog_coalesces_instead_of_dribbling(self, guard):
+        # Requests that queue while a slow batch is processing must come out
+        # as one follow-up batch, not as size-1 deadline flushes.
+        batcher, batches = _collecting_batcher(max_batch=8, max_wait_ms=5.0, delay_s=0.08)
+        batcher.start()
+        first = batcher.submit("head")
+        time.sleep(0.02)  # drain thread is now inside the slow batch
+        backlog = [batcher.submit(i) for i in range(5)]
+        first.result(timeout=30)
+        for f in backlog:
+            f.result(timeout=30)
+        batcher.close(timeout=30)
+        assert batches[0] == ["head"]
+        assert batches[1] == [0, 1, 2, 3, 4]
+
+    def test_max_batch_caps_flush_size(self, guard):
+        batcher, batches = _collecting_batcher(max_batch=4, max_wait_ms=50.0, delay_s=0.03)
+        batcher.start()
+        futures = [batcher.submit(i) for i in range(10)]
+        for f in futures:
+            f.result(timeout=30)
+        batcher.close(timeout=30)
+        assert all(len(b) <= 4 for b in batches)
+        assert sorted(x for b in batches for x in b) == list(range(10))
+
+
+class TestLifecycle:
+    def test_close_drains_accepted_requests(self, guard):
+        batcher, _ = _collecting_batcher(max_batch=64, max_wait_ms=10_000.0)
+        batcher.start()
+        futures = [batcher.submit(i) for i in range(7)]
+        batcher.close(timeout=30)  # deadline far away: close itself must flush
+        assert [f.result(timeout=1) for f in futures] == list(range(7))
+        stats = batcher.stats()
+        assert stats["completed"] == 7 and stats["failed"] == 0
+        assert stats["flush_reasons"] == {"drain": 1}
+
+    def test_submit_after_close_rejected(self, guard):
+        batcher, _ = _collecting_batcher()
+        batcher.start()
+        batcher.close(timeout=30)
+        with pytest.raises(RuntimeError, match="closed"):
+            batcher.submit(1)
+
+    def test_double_close_is_idempotent(self, guard):
+        batcher, _ = _collecting_batcher()
+        batcher.start()
+        batcher.close(timeout=30)
+        batcher.close(timeout=30)
+
+    def test_concurrent_submitters_lose_nothing(self, guard):
+        batcher, batches = _collecting_batcher(max_batch=16, max_wait_ms=5.0)
+        batcher.start()
+        results = []
+        lock = threading.Lock()
+
+        def feed(base):
+            futures = [batcher.submit(base + i) for i in range(25)]
+            resolved = [f.result(timeout=30) for f in futures]
+            with lock:
+                results.extend(resolved)
+
+        threads = [threading.Thread(target=feed, args=(100 * t,)) for t in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        batcher.close(timeout=30)
+        assert sorted(results) == sorted(100 * t + i for t in range(4) for i in range(25))
+        assert batcher.stats()["completed"] == 100
+
+
+class TestFailureDelivery:
+    def test_process_exception_resolves_futures(self, guard):
+        def explode(requests):
+            raise ValueError("model fell over")
+
+        batcher = MicroBatcher(explode, max_batch=2, max_wait_ms=5.0)
+        batcher.start()
+        futures = [batcher.submit(i) for i in range(2)]
+        for f in futures:
+            with pytest.raises(ValueError, match="fell over"):
+                f.result(timeout=30)
+        # The drain thread survived the exception and keeps serving.
+        more = batcher.submit(3)
+        with pytest.raises(ValueError):
+            more.result(timeout=30)
+        batcher.close(timeout=30)
+        assert batcher.stats()["failed"] == 3
+
+    def test_unresolved_requests_get_errors(self, guard):
+        def forgets_some(requests):
+            requests[0].future.set_result("ok")  # leaves the rest dangling
+
+        batcher = MicroBatcher(forgets_some, max_batch=2, max_wait_ms=5.0)
+        batcher.start()
+        first, second = batcher.submit("a"), batcher.submit("b")
+        assert first.result(timeout=30) == "ok"
+        with pytest.raises(RuntimeError, match="without resolving"):
+            second.result(timeout=30)
+        batcher.close(timeout=30)
+
+
+class TestValidation:
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(lambda b: None, max_batch=0)
+        with pytest.raises(ValueError):
+            MicroBatcher(lambda b: None, max_wait_ms=-1.0)
+
+    def test_double_start_rejected(self, guard):
+        batcher, _ = _collecting_batcher()
+        batcher.start()
+        with pytest.raises(RuntimeError, match="started"):
+            batcher.start()
+        batcher.close(timeout=30)
+
+    def test_close_timeout_surfaces(self):
+        release = threading.Event()
+
+        def wedge(requests):
+            release.wait(20.0)
+            for r in requests:
+                r.future.set_result(None)
+
+        batcher = MicroBatcher(wedge, max_batch=1, max_wait_ms=1.0)
+        batcher.start()
+        with hard_timeout(30.0, "close-timeout test wedged"):
+            future = batcher.submit(1)
+            with pytest.raises(TimeoutError):
+                batcher.close(timeout=0.2)
+            release.set()
+            future.result(timeout=30)
+            batcher.close(timeout=30)

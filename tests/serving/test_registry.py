@@ -1,0 +1,111 @@
+"""ModelRegistry: content addressing, aliases, load round trips."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, no_grad
+from repro.serving import ModelRegistry, state_fingerprint
+
+from tests.conftest import TinyConvNet, make_tiny_dataset
+from tests.serving.conftest import publish_tiny, tiny_factory
+
+
+class TestContentAddressing:
+    def test_same_weights_same_key(self, registry):
+        key1 = publish_tiny(registry, seed=0)
+        key2 = publish_tiny(registry, seed=0)
+        assert key1 == key2
+        assert registry.keys() == [key1]
+
+    def test_different_weights_different_key(self, registry):
+        assert publish_tiny(registry, seed=0) != publish_tiny(registry, seed=1)
+
+    def test_state_fingerprint_order_independent(self):
+        a = {"w": np.arange(4.0), "b": np.zeros(2)}
+        b = {"b": np.zeros(2), "w": np.arange(4.0)}
+        assert state_fingerprint(a) == state_fingerprint(b)
+        b["w"] = b["w"] + 1
+        assert state_fingerprint(a) != state_fingerprint(b)
+
+
+class TestAliases:
+    def test_publish_advances_alias(self, registry):
+        key1 = publish_tiny(registry, seed=0)
+        assert registry.resolve("default") == key1
+        key2 = publish_tiny(registry, seed=1)
+        assert registry.resolve("default") == key2
+
+    def test_multiple_aliases_coexist(self, registry):
+        stable = publish_tiny(registry, seed=0, alias="stable")
+        canary = publish_tiny(registry, seed=1, alias="canary")
+        assert registry.resolve("stable") == stable
+        assert registry.resolve("canary") == canary
+
+    def test_alias_to_unknown_key_rejected(self, registry):
+        with pytest.raises(KeyError):
+            registry.set_alias("default", "model-doesnotexist")
+
+    def test_unset_alias_resolves_none(self, registry):
+        assert registry.resolve("nope") is None
+
+    def test_publish_without_alias_leaves_pointer_alone(self, registry):
+        key1 = publish_tiny(registry, seed=0)
+        registry.publish(
+            TinyConvNet(seed=5), "tiny_convnet", alias=None,
+            factory_kwargs={"num_classes": 3, "seed": 5},
+        )
+        assert registry.resolve("default") == key1
+
+
+class TestLoad:
+    def test_round_trip_reproduces_outputs(self, registry):
+        model = TinyConvNet(seed=3)
+        model.eval()
+        key = registry.publish(
+            model, "tiny_convnet", factory_kwargs={"num_classes": 3, "seed": 0}
+        )
+        loaded = registry.load(key)
+        batch = Tensor(make_tiny_dataset(6, seed=9).images)
+        with no_grad():
+            expected = model(batch).data
+            actual = loaded.model(batch).data
+        np.testing.assert_allclose(actual, expected, rtol=1e-6, atol=1e-7)
+        assert loaded.key == key
+        assert loaded.manifest["arch"] == "tiny_convnet"
+
+    def test_load_by_alias(self, registry):
+        key = publish_tiny(registry, seed=0, alias="prod")
+        assert registry.load("prod").key == key
+
+    def test_load_unknown_raises(self, registry):
+        with pytest.raises(KeyError, match="no checkpoint or alias"):
+            registry.load("model-missing")
+
+    def test_corrupt_checkpoint_surfaces_as_keyerror(self, registry):
+        key = publish_tiny(registry, seed=0)
+        path = registry.store.path(key, ".npz")
+        with open(path, "r+b") as handle:
+            handle.seek(8)
+            handle.write(b"\xde\xad\xbe\xef")
+        with pytest.raises(KeyError, match="missing or corrupt"):
+            registry.load(key)
+
+    def test_default_factory_is_model_zoo(self, tmp_path):
+        from repro.models import build_model
+
+        registry = ModelRegistry(str(tmp_path))
+        model = build_model("preact_resnet18", num_classes=10, seed=0)
+        key = registry.publish(
+            model, "preact_resnet18",
+            factory_kwargs={"num_classes": 10, "seed": 0},
+        )
+        loaded = registry.load(key)
+        assert type(loaded.model).__name__ == type(model).__name__
+
+    def test_factory_kwargs_respected(self, tmp_path):
+        registry = ModelRegistry(str(tmp_path), factory=tiny_factory)
+        key = registry.publish(
+            TinyConvNet(seed=7), "tiny_convnet",
+            factory_kwargs={"num_classes": 3, "seed": 7},
+        )
+        assert registry.load(key).model.num_classes == 3

@@ -122,3 +122,52 @@ class TestFilteredInference:
         result = evaluate_filtered_inference(AlwaysTarget(), detector, tiny_test, tiny_attack)
         assert result.raw_asr == pytest.approx(1.0)
         assert result.effective_asr == 0.0
+
+
+class TestVectorizedScoring:
+    def test_matches_per_overlay_reference_loop(self, backdoored_tiny_model, tiny_reservoir, tiny_test):
+        # The stacked (chunk * num_overlays) forward must reproduce the old
+        # per-overlay loop bit-for-bit given the same overlay assignment.
+        from repro.synthesis import strip_entropy_scores
+
+        images = tiny_test.images[:12]
+        pool = tiny_reservoir.images
+        rng = np.random.default_rng(3)
+        overlay_idx = rng.integers(0, len(pool), size=(6, len(images)))
+
+        reference = np.zeros(len(images))
+        for k in range(overlay_idx.shape[0]):
+            blended = 0.5 * images + 0.5 * pool[overlay_idx[k]]
+            blended = np.clip(blended, 0.0, 1.0).astype(np.float32)
+            from repro.synthesis import prediction_entropy
+
+            reference += prediction_entropy(backdoored_tiny_model, blended)
+        reference /= overlay_idx.shape[0]
+
+        vectorized = strip_entropy_scores(
+            backdoored_tiny_model, images, pool, overlay_idx, blend_alpha=0.5
+        )
+        np.testing.assert_allclose(vectorized, reference, rtol=1e-5, atol=1e-6)
+
+    def test_chunking_invariant(self, backdoored_tiny_model, tiny_reservoir, tiny_test):
+        # Tiny batch_size forces many chunks; scores must not change.
+        from repro.synthesis import strip_entropy_scores
+
+        images = tiny_test.images[:9]
+        pool = tiny_reservoir.images
+        overlay_idx = np.random.default_rng(5).integers(0, len(pool), size=(4, len(images)))
+        big = strip_entropy_scores(backdoored_tiny_model, images, pool, overlay_idx, 0.5, batch_size=512)
+        small = strip_entropy_scores(backdoored_tiny_model, images, pool, overlay_idx, 0.5, batch_size=2)
+        np.testing.assert_allclose(big, small, rtol=1e-5, atol=1e-6)
+
+    def test_shape_mismatch_rejected(self, backdoored_tiny_model, tiny_reservoir, tiny_test):
+        from repro.synthesis import strip_entropy_scores
+
+        with pytest.raises(ValueError):
+            strip_entropy_scores(
+                backdoored_tiny_model,
+                tiny_test.images[:4],
+                tiny_reservoir.images,
+                np.zeros((3, 5), dtype=int),
+                0.5,
+            )

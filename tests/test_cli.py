@@ -208,3 +208,54 @@ class TestOrchestrateCommand:
 
         monkeypatch.setattr("repro.cli.Orchestrator", FakeOrchestrator)
         assert main(["orchestrate", "table1"]) == 1
+
+
+class TestServeCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.model == "preact_resnet18"
+        assert args.alias == "default"
+        assert args.workers is None
+        assert args.max_batch == 32
+        assert args.max_wait_ms == 5.0
+        assert args.strip is False
+        assert args.bootstrap is True
+        assert args.http is None
+        assert args.traffic is None
+        assert args.requests == 96
+
+    def test_parser_full(self):
+        args = build_parser().parse_args([
+            "serve", "--model", "vgg19_bn", "--registry", "/tmp/reg",
+            "--alias", "canary", "--workers", "4", "--max-batch", "16",
+            "--max-wait-ms", "2.5", "--strip", "--no-bootstrap",
+            "--http", "8080", "--traffic", "adversarial", "--requests", "48",
+        ])
+        assert args.model == "vgg19_bn"
+        assert args.registry == "/tmp/reg"
+        assert args.alias == "canary"
+        assert args.workers == 4
+        assert args.max_batch == 16
+        assert args.max_wait_ms == 2.5
+        assert args.strip is True
+        assert args.bootstrap is False
+        assert args.http == 8080
+        assert args.traffic == "adversarial"
+        assert args.requests == 48
+
+    def test_strip_flag_is_negatable(self):
+        assert build_parser().parse_args(["serve", "--no-strip"]).strip is False
+        assert build_parser().parse_args(["serve", "--strip"]).strip is True
+
+    def test_traffic_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--traffic", "tsunami"])
+
+    def test_empty_alias_without_bootstrap_fails(self, tmp_path, capsys):
+        code = main([
+            "serve", "--registry", str(tmp_path), "--no-bootstrap",
+            "--max-wait-ms", "1",
+        ])
+        assert code == 1
+        assert "--no-bootstrap" in capsys.readouterr().out

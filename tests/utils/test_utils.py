@@ -110,3 +110,88 @@ class TestLogEvent:
         finally:
             logger.removeHandler(caplog.handler)
         assert 'error="worker died (killed or crashed)"' in caplog.records[-1].message
+
+
+class TestPercentiles:
+    def test_known_quantiles(self):
+        from repro.utils import percentiles
+
+        samples = list(range(1, 101))  # 1..100
+        result = percentiles(samples, (0, 50, 100))
+        assert result["p0"] == 1.0
+        assert result["p50"] == pytest.approx(50.5)
+        assert result["p100"] == 100.0
+
+    def test_linear_interpolation(self):
+        from repro.utils import percentiles
+
+        # Positions between samples interpolate linearly (numpy 'linear').
+        samples = [10.0, 20.0, 30.0, 40.0]
+        expected = np.percentile(samples, [25, 75, 99])
+        result = percentiles(samples, (25, 75, 99))
+        assert result["p25"] == pytest.approx(expected[0])
+        assert result["p75"] == pytest.approx(expected[1])
+        assert result["p99"] == pytest.approx(expected[2])
+
+    def test_order_independent_and_single_sample(self):
+        from repro.utils import percentiles
+
+        assert percentiles([3.0, 1.0, 2.0], (50,)) == percentiles([1.0, 2.0, 3.0], (50,))
+        assert percentiles([7.0], (1, 50, 99)) == {"p1": 7.0, "p50": 7.0, "p99": 7.0}
+
+    def test_empty_and_out_of_range(self):
+        from repro.utils import percentiles
+
+        assert percentiles([], (50,)) == {}
+        with pytest.raises(ValueError, match="out of range"):
+            percentiles([1.0], (101,))
+
+
+class TestLatencySummary:
+    def test_summary_fields(self):
+        from repro.utils import latency_summary
+
+        summary = latency_summary([2.0, 4.0, 6.0, 8.0])
+        assert summary["count"] == 4
+        assert summary["mean"] == pytest.approx(5.0)
+        assert summary["min"] == 2.0 and summary["max"] == 8.0
+        assert {"p50", "p90", "p99"} <= set(summary)
+
+    def test_empty_is_json_clean(self):
+        from repro.utils import latency_summary
+
+        assert latency_summary([]) == {"count": 0}
+
+    def test_custom_quantiles(self):
+        from repro.utils import latency_summary
+
+        summary = latency_summary([1.0, 2.0], qs=(50.0,))
+        assert "p50" in summary and "p99" not in summary
+
+
+class TestHardTimeout:
+    def test_passthrough_when_fast(self):
+        from repro.utils import hard_timeout
+
+        with hard_timeout(30.0, "should not fire"):
+            result = 1 + 1
+        assert result == 2
+
+    def test_fires_on_blocking_wait(self):
+        import time as _time
+
+        from repro.utils import hard_timeout
+
+        with pytest.raises(TimeoutError, match="slept too long"):
+            with hard_timeout(0.2, "slept too long"):
+                _time.sleep(5.0)
+
+    def test_exceptions_propagate_and_timer_is_cleared(self):
+        import time as _time
+
+        from repro.utils import hard_timeout
+
+        with pytest.raises(KeyError):
+            with hard_timeout(0.2, "never"):
+                raise KeyError("inner")
+        _time.sleep(0.3)  # a leaked timer would fire here and kill the test
