@@ -12,10 +12,20 @@ from repro.models import build_model
 from repro.nn import SGD, Tensor, cross_entropy
 from repro.nn import functional as F
 from repro.training import TrainConfig, train_classifier
+from repro.utils.timing import hard_timeout
 
 pytestmark = pytest.mark.bench
 
+GUARD_SECONDS = 600.0
+
 RNG = np.random.default_rng(0)
+
+
+@pytest.fixture(autouse=True)
+def _bench_guard():
+    """Wall-clock ceiling for every probe: a wedged timing loop fails loudly."""
+    with hard_timeout(GUARD_SECONDS, "engine microbench wedged"):
+        yield
 
 
 @pytest.fixture(scope="module")

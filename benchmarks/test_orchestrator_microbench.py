@@ -25,10 +25,19 @@ from repro.eval.experiments import QUICK_PROFILE, ExperimentSpec
 from repro.orchestrator import Orchestrator, OrchestratorConfig
 from repro.orchestrator.orchestrator import build_experiment_dag
 from repro.utils import Timer
+from repro.utils.timing import hard_timeout
 
 pytestmark = pytest.mark.bench
 
 WORKERS = 4
+GUARD_SECONDS = 1800.0
+
+
+@pytest.fixture(autouse=True)
+def _bench_guard():
+    """Wall-clock ceiling: a wedged worker pool fails loudly, not as a hang."""
+    with hard_timeout(GUARD_SECONDS, "orchestrator microbench wedged"):
+        yield
 
 
 def _slice_spec():

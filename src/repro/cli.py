@@ -11,6 +11,8 @@ Examples::
     python -m repro attack badnets --model vgg19_bn   # train + report baseline
     python -m repro serve --strip --traffic adversarial   # defense-serving gateway
     python -m repro serve --http 8080                 # JSON-over-HTTP front
+    python -m repro watch ~/.cache/repro/runs/table1-abc   # live run dashboard
+    python -m repro registry gc --dry-run             # preview checkpoint GC
 """
 
 from __future__ import annotations
@@ -150,6 +152,45 @@ def build_parser() -> argparse.ArgumentParser:
     )
     claims.add_argument(
         "--dir", default="benchmarks/out", help="directory holding table*_<attack>.json files"
+    )
+
+    watch = sub.add_parser(
+        "watch",
+        help="live terminal dashboard over a run directory's ledger + telemetry streams",
+    )
+    watch.add_argument(
+        "target",
+        help="run directory (ledger.jsonl + telemetry*.jsonl) or a single JSONL file",
+    )
+    watch.add_argument(
+        "--interval", type=float, default=1.0, help="poll/redraw period in seconds"
+    )
+    watch.add_argument(
+        "--once", action="store_true",
+        help="render one frame from the current file contents and exit",
+    )
+    watch.add_argument(
+        "--duration", type=float, default=None,
+        help="stop after this many seconds (default: run until ctrl-c)",
+    )
+    watch.add_argument("--width", type=int, default=78, help="dashboard width in columns")
+
+    registry = sub.add_parser("registry", help="inspect and maintain the model registry")
+    registry_sub = registry.add_subparsers(dest="registry_command", required=True)
+    registry_gc = registry_sub.add_parser(
+        "gc", help="delete checkpoints no alias points at (refuses aliased ones)"
+    )
+    registry_gc.add_argument(
+        "--registry", default=None,
+        help="registry directory (default: <cache dir>/registry)",
+    )
+    registry_gc.add_argument(
+        "--dry-run", action="store_true",
+        help="report what would be removed without deleting anything",
+    )
+    registry_gc.add_argument(
+        "--keep", nargs="+", default=[],
+        help="extra checkpoint keys (or prefixes) to pin besides aliased ones",
     )
     return parser
 
@@ -387,6 +428,50 @@ def _cmd_claims(args) -> int:
     return 1 if any_failed else 0
 
 
+def _cmd_watch(args) -> int:
+    import os
+
+    from .telemetry.watch import watch_paths
+
+    if not os.path.exists(args.target):
+        print(f"no such run directory or stream file: {args.target}")
+        return 1
+    state = watch_paths(
+        args.target,
+        interval=args.interval,
+        once=args.once,
+        duration=args.duration,
+        width=args.width,
+    )
+    return 0 if state.events else 1
+
+
+def _cmd_registry(args) -> int:
+    import json
+    import os
+
+    from .serving import ModelRegistry
+
+    registry_dir = args.registry or os.path.join(
+        os.environ.get("REPRO_CACHE_DIR", os.path.expanduser("~/.cache/repro")), "registry"
+    )
+    if args.registry_command == "gc":
+        if not os.path.isdir(registry_dir):
+            print(f"no registry at {registry_dir}")
+            return 1
+        report = ModelRegistry(registry_dir).gc(dry_run=args.dry_run, keep=args.keep)
+        print(json.dumps(report, indent=2, sort_keys=True))
+        verb = "would remove" if args.dry_run else "removed"
+        print(
+            f"{verb} {len(report['removed'])} checkpoint(s), "
+            f"kept {len(report['kept'])}, "
+            f"{report['freed_bytes'] / 1024:.1f} KiB"
+            + (" reclaimable" if args.dry_run else " reclaimed")
+        )
+        return 0
+    raise AssertionError(f"unhandled registry command {args.registry_command!r}")
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
@@ -405,6 +490,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_serve(args)
     if args.command == "claims":
         return _cmd_claims(args)
+    if args.command == "watch":
+        return _cmd_watch(args)
+    if args.command == "registry":
+        return _cmd_registry(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

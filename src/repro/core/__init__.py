@@ -6,6 +6,14 @@ from .defense import GradPruneConfig, GradPruneDefense
 from .evaluator import FusedEvalReport, FusedEvaluator
 from .pruner import GradientPruner, PruningHistory, PruningRound
 from .scoring import compute_filter_scores, filter_scores_from_grads, top_filter
+from .stopping import (
+    STOPPING_POLICIES,
+    AdaptiveStopping,
+    PatienceStopping,
+    RoundSignals,
+    StoppingPolicy,
+    make_stopping,
+)
 from .tuner import FineTuneHistory, FineTuner
 from .unlearning import unlearning_loss_backward, unlearning_loss_value
 
@@ -20,6 +28,12 @@ __all__ = [
     "GradientPruner",
     "PruningHistory",
     "PruningRound",
+    "StoppingPolicy",
+    "PatienceStopping",
+    "AdaptiveStopping",
+    "RoundSignals",
+    "STOPPING_POLICIES",
+    "make_stopping",
     "FineTuner",
     "FineTuneHistory",
     "GradPruneConfig",

@@ -8,9 +8,12 @@ Each round:
    held-out *validation* data.
 
 The loop stops when the validation clean accuracy falls below the threshold
-``alpha`` (the offending prune is rolled back) or when the validation
-unlearning loss fails to improve for ``patience`` (= the paper's ``P_p``)
-consecutive rounds.
+``alpha`` (the offending prune is rolled back) or when the configured
+:class:`~repro.core.stopping.StoppingPolicy` says so — by default the
+paper's fixed patience ``P_p``
+(:class:`~repro.core.stopping.PatienceStopping`); pass
+:class:`~repro.core.stopping.AdaptiveStopping` for the plateau/score-mass
+rule evaluated in the ``ablation_stopping_adaptive`` benchmark.
 
 Both per-round validation metrics come from one fused forward sweep
 (:class:`repro.core.evaluator.FusedEvaluator`) over a conv–BN-folded
@@ -18,21 +21,31 @@ compiled view of the model; each :class:`PruningRound` records how long its
 scoring backward and validation sweep took, so bench runs can attribute
 wall time.  ``REPRO_DISABLE_FAST_PATH=1`` (or ``use_fast_path=False``)
 restores the reference two-pass evaluation.
+
+Every round is also published on the telemetry bus
+(:mod:`repro.telemetry`) as a ``prune_round`` event — filter identity and
+score, loss/accuracy trajectory, per-phase timings, and the stopping
+policy's internal state — bracketed by ``prune_started`` /
+``prune_finished``.  With no sink attached the emission is a no-op check.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from ..data.dataset import ImageDataset
 from ..models.pruning_utils import FilterRef, PruningMask
 from ..nn.module import Module
+from ..telemetry import emit
 from .evaluator import FusedEvaluator
 from .scoring import compute_filter_scores, top_filter
+from .stopping import PatienceStopping, RoundSignals, StoppingPolicy
 
 __all__ = ["PruningRound", "PruningHistory", "GradientPruner"]
+
+_SOURCE = "core.pruner"
 
 
 @dataclass
@@ -62,6 +75,7 @@ class PruningHistory:
     initial_val_accuracy: float = float("nan")
     initial_val_loss: float = float("nan")
     stop_reason: str = ""
+    stop_policy: str = "patience"
     initial_eval_seconds: float = 0.0
     num_folded_layers: int = 0
 
@@ -76,6 +90,14 @@ class PruningHistory:
     @property
     def total_eval_seconds(self) -> float:
         return self.initial_eval_seconds + sum(r.eval_seconds for r in self.rounds)
+
+    def per_layer_pruned(self) -> Dict[str, int]:
+        """Effective (non-rolled-back) prune count per conv layer."""
+        counts: Dict[str, int] = {}
+        for record in self.rounds:
+            if not record.rolled_back:
+                counts[record.pruned.layer] = counts.get(record.pruned.layer, 0) + 1
+        return counts
 
 
 class GradientPruner:
@@ -92,7 +114,7 @@ class GradientPruner:
         clean accuracy they are willing to spend).
     patience:
         The paper's ``P_p``: rounds without validation-loss improvement
-        before stopping.
+        before stopping.  Ignored when ``stopping`` is given.
     max_rounds:
         Hard cap on pruning rounds (safety net; the paper's loop is bounded
         by the filter count).
@@ -103,6 +125,10 @@ class GradientPruner:
         inference path.  Scores (Eq. 3) always use the reference autograd
         path; only the no-grad validation sweeps are accelerated, so results
         agree with the reference within float32 tolerance.
+    stopping:
+        A :class:`~repro.core.stopping.StoppingPolicy` instance replacing
+        the default ``PatienceStopping(patience)``.  The accuracy floor
+        ``alpha`` applies regardless of policy.
     """
 
     def __init__(
@@ -113,6 +139,7 @@ class GradientPruner:
         max_rounds: Optional[int] = None,
         batch_size: int = 128,
         use_fast_path: bool = True,
+        stopping: Optional[StoppingPolicy] = None,
     ) -> None:
         if alpha is not None and not 0.0 <= alpha <= 1.0:
             raise ValueError(f"alpha must be in [0, 1], got {alpha}")
@@ -126,6 +153,7 @@ class GradientPruner:
         self.max_rounds = max_rounds
         self.batch_size = batch_size
         self.use_fast_path = use_fast_path
+        self.stopping = stopping
 
     def prune(
         self,
@@ -141,7 +169,8 @@ class GradientPruner:
         drive the stopping rule, never the scores (paper §IV-B's split).
         """
         mask = mask if mask is not None else PruningMask(model)
-        history = PruningHistory()
+        policy = self.stopping if self.stopping is not None else PatienceStopping(self.patience)
+        history = PruningHistory(stop_policy=policy.name)
         evaluator = FusedEvaluator(
             model,
             clean_val,
@@ -158,10 +187,16 @@ class GradientPruner:
         if alpha is None:
             alpha = max(0.0, history.initial_val_accuracy - self.max_acc_drop)
 
-        best_loss = history.initial_val_loss
-        rounds_since_improvement = 0
+        policy.reset(history.initial_val_loss)
         round_index = 0
         max_rounds = self.max_rounds if self.max_rounds is not None else float("inf")
+        emit(
+            "prune_started", _SOURCE,
+            policy=policy.name, alpha=alpha, max_rounds=self.max_rounds,
+            initial_val_accuracy=initial.accuracy,
+            initial_val_loss=initial.unlearning_loss,
+            num_folded_layers=evaluator.num_folded,
+        )
 
         while round_index < max_rounds:
             score_start = time.perf_counter()
@@ -174,6 +209,8 @@ class GradientPruner:
                 history.stop_reason = "no prunable filters remain"
                 break
             target = top_filter(scores)
+            top_score = scores[target]
+            score_mass = float(sum(scores.values()))
             saved = mask.prune(target)
 
             report = evaluator.evaluate()
@@ -182,38 +219,58 @@ class GradientPruner:
             record = PruningRound(
                 round_index=round_index,
                 pruned=target,
-                score=scores[target],
+                score=top_score,
                 val_unlearning_loss=val_loss,
                 val_accuracy=val_acc,
                 score_seconds=score_seconds,
                 eval_seconds=report.seconds,
             )
 
-            if val_acc < alpha:
+            broke_floor = val_acc < alpha
+            stop_reason: Optional[str] = None
+            if broke_floor:
                 # This prune broke the main task: roll it back and stop.
                 mask.unprune(target, saved)
                 record.rolled_back = True
-                history.rounds.append(record)
-                history.stop_reason = (
+                stop_reason = (
                     f"validation accuracy {val_acc:.4f} fell below alpha={alpha:.4f}"
                 )
-                break
-
             history.rounds.append(record)
-            if val_loss < best_loss:
-                best_loss = val_loss
-                rounds_since_improvement = 0
-            else:
-                rounds_since_improvement += 1
-                if rounds_since_improvement >= self.patience:
-                    history.stop_reason = (
-                        f"unlearning loss did not improve for {self.patience} rounds"
+            if stop_reason is None:
+                stop_reason = policy.update(
+                    RoundSignals(
+                        round_index=round_index,
+                        val_loss=val_loss,
+                        val_accuracy=val_acc,
+                        top_score=top_score,
+                        score_mass=score_mass,
+                        num_pruned=history.num_pruned,
                     )
-                    break
+                )
+            emit(
+                "prune_round", _SOURCE,
+                round=round_index, layer=target.layer, filter=target.index,
+                score=top_score, score_mass=score_mass,
+                val_loss=val_loss, val_acc=val_acc,
+                rolled_back=record.rolled_back, num_pruned=history.num_pruned,
+                score_seconds=score_seconds, eval_seconds=report.seconds,
+                policy=policy.name, policy_state=policy.state(),
+            )
+            if stop_reason is not None:
+                history.stop_reason = stop_reason
+                break
             round_index += 1
         else:
             history.stop_reason = f"reached max_rounds={self.max_rounds}"
 
         if not history.stop_reason:
             history.stop_reason = f"reached max_rounds={self.max_rounds}"
+        emit(
+            "prune_finished", _SOURCE,
+            rounds=len(history.rounds), num_pruned=history.num_pruned,
+            stop_reason=history.stop_reason, policy=policy.name,
+            per_layer=history.per_layer_pruned(),
+            score_seconds=history.total_score_seconds,
+            eval_seconds=history.total_eval_seconds,
+        )
         return history

@@ -1,0 +1,212 @@
+"""Pruning-loop stopping policies: fixed patience and the adaptive rule.
+
+The paper stops pruning after ``P_p`` consecutive rounds without a new
+best validation unlearning loss.  :class:`PatienceStopping` reproduces
+that rule exactly.  :class:`AdaptiveStopping` replaces the fixed constant
+with decisions driven by the same per-round signals the telemetry
+subsystem streams (DESIGN.md §12):
+
+- **plateau detection** — the best-so-far validation unlearning loss must
+  improve by at least ``rel_improvement`` (relative) over any sliding
+  window of ``window`` rounds, else the loss trajectory has flattened and
+  further prunes only spend clean accuracy;
+- **score-mass exhaustion** — Eq. 3 scores measure how much each filter
+  still contributes to misclassifying triggered inputs.  When the best
+  remaining score decays below ``score_floor`` × the first round's best
+  score, the gradient signal that justifies pruning is spent.
+
+Because a window of ``window`` rounds with *zero* improvement always
+triggers the plateau test, adaptive stopping with ``window <= P_p`` never
+runs more rounds than patience-``P_p`` stopping on the same trajectory —
+the property the ``ablation_stopping_adaptive`` benchmark checks.
+
+Policies are stateful and single-use per pruning run: the pruner calls
+:meth:`reset` with the initial validation loss, then :meth:`update` once
+per round with a :class:`RoundSignals`; a non-None return is the stop
+reason.  The accuracy floor ``alpha`` (and its rollback) stays in the
+pruner — it is a safety constraint, not a stopping heuristic.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+__all__ = [
+    "RoundSignals",
+    "StoppingPolicy",
+    "PatienceStopping",
+    "AdaptiveStopping",
+    "STOPPING_POLICIES",
+    "make_stopping",
+]
+
+
+@dataclass
+class RoundSignals:
+    """Per-round observables a stopping policy may consult.
+
+    The same numbers are emitted on the telemetry bus as ``prune_round``
+    events, so a policy decision is always reconstructible from the
+    stream.
+    """
+
+    round_index: int
+    val_loss: float
+    val_accuracy: float
+    top_score: float = float("nan")
+    score_mass: float = float("nan")  # sum of all remaining Eq. 3 scores
+    num_pruned: int = 0
+
+
+class StoppingPolicy:
+    """Interface for pruning stop decisions."""
+
+    name = "base"
+
+    def reset(self, initial_loss: float) -> None:
+        raise NotImplementedError
+
+    def update(self, signals: RoundSignals) -> Optional[str]:
+        """Consume one round; return a stop reason, or None to continue."""
+        raise NotImplementedError
+
+    def state(self) -> Dict[str, Any]:
+        """Small JSON-clean dict describing internal state (telemetry)."""
+        return {}
+
+
+class PatienceStopping(StoppingPolicy):
+    """The paper's fixed rule: stop after ``patience`` rounds w/o a new best."""
+
+    name = "patience"
+
+    def __init__(self, patience: int = 10) -> None:
+        if patience < 1:
+            raise ValueError(f"patience must be >= 1, got {patience}")
+        self.patience = patience
+        self._best = float("inf")
+        self._since_improvement = 0
+
+    def reset(self, initial_loss: float) -> None:
+        self._best = initial_loss
+        self._since_improvement = 0
+
+    def update(self, signals: RoundSignals) -> Optional[str]:
+        if signals.val_loss < self._best:
+            self._best = signals.val_loss
+            self._since_improvement = 0
+            return None
+        self._since_improvement += 1
+        if self._since_improvement >= self.patience:
+            return f"unlearning loss did not improve for {self.patience} rounds"
+        return None
+
+    def state(self) -> Dict[str, Any]:
+        return {"best_loss": self._best, "since_improvement": self._since_improvement}
+
+
+class AdaptiveStopping(StoppingPolicy):
+    """Plateau + score-mass stopping over the streamed round signals.
+
+    Parameters
+    ----------
+    window:
+        Sliding-window length (rounds) for the plateau test.  Choosing
+        ``window <= P_p`` guarantees no more rounds than the fixed rule.
+    rel_improvement:
+        Minimum relative improvement of the best loss across the window;
+        below it the trajectory counts as plateaued.
+    score_floor:
+        Stop when the round's best Eq. 3 score falls below this fraction
+        of the first round's best score (NaN scores are ignored).
+    min_rounds:
+        Grace period before any adaptive stop can fire.
+    """
+
+    name = "adaptive"
+
+    def __init__(
+        self,
+        window: int = 5,
+        rel_improvement: float = 1e-3,
+        score_floor: float = 0.05,
+        min_rounds: int = 2,
+    ) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        if rel_improvement < 0:
+            raise ValueError(f"rel_improvement must be >= 0, got {rel_improvement}")
+        if not 0.0 <= score_floor < 1.0:
+            raise ValueError(f"score_floor must be in [0, 1), got {score_floor}")
+        if min_rounds < 0:
+            raise ValueError(f"min_rounds must be >= 0, got {min_rounds}")
+        self.window = window
+        self.rel_improvement = rel_improvement
+        self.score_floor = score_floor
+        self.min_rounds = min_rounds
+        self._best = float("inf")
+        # Best-so-far loss *before* each of the last `window` rounds.
+        self._best_history: deque = deque(maxlen=window)
+        self._initial_top_score = float("nan")
+        self._rounds = 0
+
+    def reset(self, initial_loss: float) -> None:
+        self._best = initial_loss
+        self._best_history.clear()
+        self._initial_top_score = float("nan")
+        self._rounds = 0
+
+    def update(self, signals: RoundSignals) -> Optional[str]:
+        self._rounds += 1
+        window_start_best = (
+            self._best_history[0] if len(self._best_history) == self.window else None
+        )
+        self._best_history.append(self._best)
+        self._best = min(self._best, signals.val_loss)
+
+        if math.isnan(self._initial_top_score) and not math.isnan(signals.top_score):
+            self._initial_top_score = signals.top_score
+
+        if self._rounds <= self.min_rounds:
+            return None
+
+        if not math.isnan(signals.top_score) and not math.isnan(self._initial_top_score):
+            floor = self.score_floor * self._initial_top_score
+            if signals.top_score < floor:
+                return (
+                    f"score mass exhausted: top score {signals.top_score:.3e} fell below "
+                    f"{self.score_floor:g} x initial {self._initial_top_score:.3e}"
+                )
+
+        if window_start_best is not None:
+            scale = max(abs(window_start_best), 1e-12)
+            improvement = (window_start_best - self._best) / scale
+            if improvement < self.rel_improvement:
+                return (
+                    f"loss plateau: relative improvement {improvement:.2e} over the last "
+                    f"{self.window} rounds is below {self.rel_improvement:g}"
+                )
+        return None
+
+    def state(self) -> Dict[str, Any]:
+        return {
+            "best_loss": self._best,
+            "rounds_seen": self._rounds,
+            "window_fill": len(self._best_history),
+            "initial_top_score": self._initial_top_score,
+        }
+
+
+STOPPING_POLICIES = ("patience", "adaptive")
+
+
+def make_stopping(name: str, **kwargs) -> StoppingPolicy:
+    """Build a stopping policy by registry name (CLI / config surface)."""
+    if name == "patience":
+        return PatienceStopping(**kwargs)
+    if name == "adaptive":
+        return AdaptiveStopping(**kwargs)
+    raise KeyError(f"unknown stopping policy {name!r}; choose from {STOPPING_POLICIES}")

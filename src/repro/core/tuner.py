@@ -19,8 +19,11 @@ from ..data.dataset import DataLoader, ImageDataset
 from ..models.pruning_utils import PruningMask
 from ..nn import SGD, Tensor, cross_entropy, no_grad
 from ..nn.module import Module
+from ..telemetry import emit
 
 __all__ = ["FineTuneHistory", "FineTuner"]
+
+_SOURCE = "core.tuner"
 
 
 @dataclass
@@ -126,6 +129,12 @@ class FineTuner:
         best_val = _dataset_loss(model, val_set, self.batch_size * 4)
         best_state: Dict[str, np.ndarray] = model.state_dict()
         epochs_since_improvement = 0
+        emit(
+            "tune_started", _SOURCE,
+            train_size=len(train_set), val_size=len(val_set),
+            lr=self.lr, patience=self.patience, max_epochs=self.max_epochs,
+            initial_val_loss=best_val,
+        )
 
         for epoch in range(self.max_epochs):
             model.train()
@@ -150,11 +159,17 @@ class FineTuner:
                 epochs_since_improvement = 0
             else:
                 epochs_since_improvement += 1
-                if epochs_since_improvement >= self.patience:
-                    history.stop_reason = (
-                        f"validation loss did not improve for {self.patience} epochs"
-                    )
-                    break
+            emit(
+                "tune_epoch", _SOURCE,
+                epoch=epoch, train_loss=history.train_losses[-1], val_loss=val_loss,
+                best_val_loss=best_val, best_epoch=history.best_epoch,
+                since_improvement=epochs_since_improvement,
+            )
+            if epochs_since_improvement >= self.patience:
+                history.stop_reason = (
+                    f"validation loss did not improve for {self.patience} epochs"
+                )
+                break
         if not history.stop_reason:
             history.stop_reason = f"reached max_epochs={self.max_epochs}"
 
@@ -162,4 +177,9 @@ class FineTuner:
         if mask is not None:
             mask.apply()
         model.eval()
+        emit(
+            "tune_finished", _SOURCE,
+            epochs=len(history.train_losses), best_epoch=history.best_epoch,
+            best_val_loss=best_val, stop_reason=history.stop_reason,
+        )
         return history

@@ -30,7 +30,8 @@ from ..eval.experiments import ExperimentResult, ExperimentSpec, scenario_config
 from ..eval.metrics import BackdoorMetrics
 from ..eval.reporting import format_table
 from ..eval.runner import AggregateResult, TrialCache
-from ..utils.logging import get_logger, log_event
+from ..telemetry import TELEMETRY_DIR_ENV, LoggerSink, bus, release_env_sink
+from ..utils.logging import get_logger
 from .artifacts import content_hash
 from .dag import Task, TaskGraph
 from .ledger import RunLedger
@@ -45,6 +46,21 @@ __all__ = [
 ]
 
 _LOG = get_logger("repro.orchestrator")
+
+_SOURCE = "orchestrator"
+
+# Lifecycle events mirrored to the console (LoggerSink) in verbose mode.
+# Hot per-round events (prune_round, tune_epoch) stay off the console and
+# flow only to JSONL sinks / subscribers.
+_CONSOLE_EVENTS = (
+    "run_started",
+    "run_finished",
+    "started",
+    "finished",
+    "failed",
+    "retried",
+    "skipped",
+)
 
 
 def build_experiment_dag(
@@ -120,6 +136,10 @@ class OrchestratorConfig:
     model_cache_dir: Optional[str] = None
     trial_cache_dir: Optional[str] = None
     verbose: bool = True
+    # Export REPRO_TELEMETRY_DIR=<run_dir> for the run so this process and
+    # every forked worker stream events to per-pid JSONL files that
+    # ``repro watch <run_dir>`` tails alongside the ledger.
+    telemetry: bool = True
 
 
 @dataclass
@@ -245,61 +265,81 @@ class Orchestrator:
                 ledger.append(
                     "queued", task=task.task_id, kind=task.kind, scenario=task.scenario
                 )
+        # Light up the telemetry bus for this run.  The env export happens
+        # BEFORE first bus() use so this process attaches its own per-pid
+        # JSONL sink, and forked workers (which reset their bus post-fork)
+        # attach theirs — all under run_dir, next to the ledger.
+        env_exported = False
+        if cfg.telemetry and not os.environ.get(TELEMETRY_DIR_ENV):
+            os.environ[TELEMETRY_DIR_ENV] = run_dir
+            env_exported = True
+        run_bus = bus()
+        console_sink = None
         if cfg.verbose:
-            log_event(
-                _LOG, "run_started",
+            console_sink = run_bus.attach(LoggerSink(_LOG, events=_CONSOLE_EVENTS))
+
+        def on_event(event: str, task: Task, **fields) -> None:
+            ledger.append(event, task=task.task_id, kind=task.kind,
+                          scenario=task.scenario, **fields)
+            stream_fields = dict(fields)
+            # Full results are durable in the ledger; keep the live stream
+            # (and the verbose console mirror) light and greppable.
+            stream_fields.pop("result", None)
+            run_bus.emit(event, _SOURCE, task=task.task_id, kind=task.kind, **stream_fields)
+            if event in ("finished", "failed", "retried"):
+                run_bus.metrics.counter(f"orchestrator.tasks_{event}").inc()
+
+        try:
+            run_bus.emit(
+                "run_started", _SOURCE,
                 experiment=spec.experiment_id, tasks=len(graph),
                 preloaded=len(preloaded), workers=cfg.workers, run_dir=run_dir,
             )
+            ctx = {
+                "model_dir": cfg.model_cache_dir,
+                "trial_dir": cfg.trial_cache_dir,
+                "verbose": False,
+            }
+            outcomes = run_tasks(
+                graph,
+                execute_task,
+                ctx,
+                workers=cfg.workers,
+                task_timeout=cfg.task_timeout,
+                max_retries=cfg.max_retries,
+                retry_backoff=cfg.retry_backoff,
+                on_event=on_event,
+            )
 
-        def on_event(event: str, task: Task, **fields) -> None:
-            ledger_fields = dict(fields)
-            ledger.append(event, task=task.task_id, kind=task.kind,
-                          scenario=task.scenario, **ledger_fields)
-            if cfg.verbose:
-                fields.pop("result", None)  # results can be large-ish; keep logs greppable
-                log_event(_LOG, event, task=task.task_id, **fields)
+            values: Dict[str, Dict] = dict(preloaded)
+            for task_id, outcome in outcomes.items():
+                if outcome.ok and outcome.value is not None:
+                    values[task_id] = outcome.value
 
-        ctx = {
-            "model_dir": cfg.model_cache_dir,
-            "trial_dir": cfg.trial_cache_dir,
-            "verbose": False,
-        }
-        outcomes = run_tasks(
-            graph,
-            execute_task,
-            ctx,
-            workers=cfg.workers,
-            task_timeout=cfg.task_timeout,
-            max_retries=cfg.max_retries,
-            retry_backoff=cfg.retry_backoff,
-            on_event=on_event,
-        )
-
-        values: Dict[str, Dict] = dict(preloaded)
-        for task_id, outcome in outcomes.items():
-            if outcome.ok and outcome.value is not None:
-                values[task_id] = outcome.value
-
-        result = self._assemble(spec, attacks, models, root_seed, values)
-        counts = graph.counts()
-        orchestration = OrchestrationResult(
-            experiment=result["experiment"],
-            run_dir=run_dir,
-            ledger_path=ledger.path,
-            counts=counts,
-            failed_cells=result["failed_cells"],
-            reused=len(preloaded),
-            elapsed=time.perf_counter() - start,
-        )
-        if cfg.verbose:
-            log_event(
-                _LOG, "run_finished",
+            result = self._assemble(spec, attacks, models, root_seed, values)
+            counts = graph.counts()
+            orchestration = OrchestrationResult(
+                experiment=result["experiment"],
+                run_dir=run_dir,
+                ledger_path=ledger.path,
+                counts=counts,
+                failed_cells=result["failed_cells"],
+                reused=len(preloaded),
+                elapsed=time.perf_counter() - start,
+            )
+            run_bus.emit(
+                "run_finished", _SOURCE,
                 elapsed=orchestration.elapsed, reused=orchestration.reused,
                 failed=len(orchestration.failed_cells),
                 **{f"tasks_{k}": v for k, v in counts.items()},
             )
-        return orchestration
+            return orchestration
+        finally:
+            if console_sink is not None:
+                run_bus.detach(console_sink)
+            if env_exported:
+                os.environ.pop(TELEMETRY_DIR_ENV, None)
+                release_env_sink()
 
     # ------------------------------------------------------------------
     def _assemble(

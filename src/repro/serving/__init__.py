@@ -7,7 +7,7 @@ optional per-batch STRIP pre-filter, a synthetic traffic generator, and a
 stdlib HTTP front.  See DESIGN.md §11.
 """
 
-from .batcher import BatcherStats, BatchRequest, MicroBatcher
+from .batcher import BatcherStats, BatchRequest, MicroBatcher, QueueFullError
 from .gateway import CLEAN, FILTERED, ServeConfig, ServingGateway, Verdict
 from .http import GatewayHTTPServer, serve_http
 from .registry import ModelRegistry, RegisteredModel, state_fingerprint
@@ -22,6 +22,7 @@ __all__ = [
     "GatewayHTTPServer",
     "MicroBatcher",
     "ModelRegistry",
+    "QueueFullError",
     "RegisteredModel",
     "ServeConfig",
     "ServingGateway",

@@ -23,6 +23,12 @@ enqueued strictly after every accepted request), and joins the thread — no
 request accepted before ``close()`` is ever dropped.  If ``process_batch``
 raises, the exception is delivered to each affected request's future
 instead of killing the drain loop.
+
+Admission control: with ``max_queue`` set, a submit that would exceed the
+bound of accepted-but-unresolved requests is rejected immediately with
+:class:`QueueFullError` carrying a drain-time estimate (``retry_after_s``)
+— the HTTP front turns that into ``503`` + ``Retry-After`` instead of
+letting latency grow without bound under overload.
 """
 
 from __future__ import annotations
@@ -35,9 +41,27 @@ from concurrent.futures import Future
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
+from ..telemetry import bus, emit
 from ..utils.logging import get_logger
 
-__all__ = ["MicroBatcher", "BatchRequest", "BatcherStats"]
+__all__ = ["MicroBatcher", "BatchRequest", "BatcherStats", "QueueFullError"]
+
+_SOURCE = "serving.batcher"
+
+
+class QueueFullError(RuntimeError):
+    """Raised by :meth:`MicroBatcher.submit` when admission control rejects.
+
+    ``retry_after_s`` estimates when the queue should have drained enough
+    to accept work again (what the HTTP layer advertises as
+    ``Retry-After``).
+    """
+
+    def __init__(self, name: str, depth: int, limit: int, retry_after_s: float) -> None:
+        super().__init__(f"{name} queue full ({depth}/{limit} requests pending)")
+        self.depth = depth
+        self.limit = limit
+        self.retry_after_s = retry_after_s
 
 _LOG = get_logger("repro.serving.batcher")
 
@@ -66,6 +90,7 @@ class BatcherStats:
     submitted: int = 0
     completed: int = 0
     failed: int = 0
+    rejected: int = 0  # admission-control rejections (QueueFullError)
     batches: int = 0
     batch_size_histogram: Dict[int, int] = field(default_factory=Counter)
     flush_reasons: Dict[str, int] = field(default_factory=Counter)
@@ -84,6 +109,10 @@ class MicroBatcher:
         Flush when this many requests are pending.
     max_wait_ms:
         Flush when the oldest pending request has waited this long.
+    max_queue:
+        Bound on accepted-but-unresolved requests; ``None`` disables
+        admission control.  A submit over the bound raises
+        :class:`QueueFullError` instead of queueing.
     """
 
     def __init__(
@@ -91,20 +120,25 @@ class MicroBatcher:
         process_batch: Callable[[List[BatchRequest]], None],
         max_batch: int = 32,
         max_wait_ms: float = 5.0,
+        max_queue: Optional[int] = None,
         name: str = "microbatcher",
     ) -> None:
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
         if max_wait_ms < 0:
             raise ValueError(f"max_wait_ms must be >= 0, got {max_wait_ms}")
+        if max_queue is not None and max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1 or None, got {max_queue}")
         self.process_batch = process_batch
         self.max_batch = int(max_batch)
         self.max_wait_s = float(max_wait_ms) / 1e3
+        self.max_queue = max_queue
         self.name = name
         self._queue: "queue.Queue" = queue.Queue()
         self._submit_lock = threading.Lock()
         self._stats_lock = threading.Lock()
         self._stats = BatcherStats()
+        self._inflight = 0  # accepted and not yet resolved (under _submit_lock)
         self._closed = False
         self._thread: Optional[threading.Thread] = None
 
@@ -143,16 +177,46 @@ class MicroBatcher:
     # Submission
     # ------------------------------------------------------------------
     def submit(self, payload: Any) -> "Future":
-        """Enqueue one request; resolves when its micro-batch is processed."""
+        """Enqueue one request; resolves when its micro-batch is processed.
+
+        Raises :class:`QueueFullError` when ``max_queue`` is set and that
+        many accepted requests are still unresolved.
+        """
         future: Future = Future()
         request = BatchRequest(payload=payload, future=future, enqueued_at=time.perf_counter())
         with self._submit_lock:
             if self._closed:
                 raise RuntimeError(f"{self.name} is closed")
-            self._queue.put(request)
+            depth = self._inflight
+            if self.max_queue is not None and depth >= self.max_queue:
+                overloaded = True
+            else:
+                overloaded = False
+                self._inflight = depth + 1
+                self._queue.put(request)
+        if overloaded:
+            # Rough drain estimate: batches ahead of us, one deadline each
+            # (under real overload flushes trigger on "full" and drain
+            # faster, so this errs toward backing clients off).
+            batches_ahead = max(1, -(-depth // self.max_batch))
+            retry_after = max(0.05, batches_ahead * max(self.max_wait_s, 1e-3))
+            with self._stats_lock:
+                self._stats.rejected += 1
+            bus().metrics.counter("serving.overload_rejected").inc()
+            emit(
+                "overload_rejected", _SOURCE,
+                batcher=self.name, depth=depth, limit=self.max_queue,
+                retry_after_s=retry_after,
+            )
+            raise QueueFullError(self.name, depth, self.max_queue, retry_after)
         with self._stats_lock:
             self._stats.submitted += 1
         return future
+
+    def queue_depth(self) -> int:
+        """Accepted requests not yet resolved (the admission-control gauge)."""
+        with self._submit_lock:
+            return self._inflight
 
     # ------------------------------------------------------------------
     # Drain thread
@@ -228,17 +292,26 @@ class MicroBatcher:
             self._stats.flush_reasons[reason] += 1
             self._stats.failed += failed + len(unresolved)
             self._stats.completed += len(batch) - failed - len(unresolved)
+        with self._submit_lock:
+            self._inflight -= len(batch)
+            depth = self._inflight
+        metrics = bus().metrics
+        metrics.gauge("serving.queue_depth").set(depth)
+        metrics.histogram("serving.batch_size").observe(len(batch))
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, Any]:
         with self._stats_lock:
-            return {
+            snapshot = {
                 "submitted": self._stats.submitted,
                 "completed": self._stats.completed,
                 "failed": self._stats.failed,
+                "rejected": self._stats.rejected,
                 "batches": self._stats.batches,
                 "batch_size_histogram": dict(self._stats.batch_size_histogram),
                 "flush_reasons": dict(self._stats.flush_reasons),
             }
+        snapshot["queue_depth"] = self.queue_depth()
+        return snapshot

@@ -49,6 +49,7 @@ from ..nn.engine import engine
 from ..nn.inference import CompiledInference
 from ..nn.tensor import Tensor
 from ..synthesis.strip import strip_entropy_scores
+from ..telemetry import bus, emit
 from ..utils.logging import get_logger
 from ..utils.timing import latency_summary
 from .batcher import BatchRequest, MicroBatcher
@@ -57,6 +58,8 @@ from .registry import ModelRegistry
 __all__ = ["ServingGateway", "ServeConfig", "Verdict", "CLEAN", "FILTERED"]
 
 _LOG = get_logger("repro.serving.gateway")
+
+_SOURCE = "serving.gateway"
 
 CLEAN = "clean"
 FILTERED = "filtered-as-triggered"
@@ -68,6 +71,9 @@ class ServeConfig:
 
     max_batch: int = 32
     max_wait_ms: float = 5.0
+    # Admission control: bound on accepted-but-unresolved requests; a
+    # submit over the bound raises QueueFullError (HTTP: 503 + Retry-After).
+    max_queue: int = 1024
     strip: bool = False
     strip_overlays: int = 8
     strip_alpha: float = 0.5
@@ -157,16 +163,23 @@ class ServingGateway:
             self._process_batch,
             max_batch=self.config.max_batch,
             max_wait_ms=self.config.max_wait_ms,
+            max_queue=self.config.max_queue,
             name=f"serve-{self.alias}",
         ).start()
         self._started_at = time.perf_counter()
         _LOG.info("serving %s (alias=%s, strip=%s)", entry.key, self.alias, self.config.strip)
+        emit(
+            "serving_started", _SOURCE,
+            alias=self.alias, model_key=entry.key, strip=self.config.strip,
+            max_batch=self.config.max_batch, max_queue=self.config.max_queue,
+        )
         return self
 
     def stop(self, timeout: Optional[float] = 30.0) -> None:
         """Drain the queue (every accepted request resolves), then stop."""
         if self._batcher is not None:
             self._batcher.close(timeout=timeout)
+            emit("serving_stopped", _SOURCE, alias=self.alias, served=self._served)
 
     def __enter__(self) -> "ServingGateway":
         return self.start()
@@ -213,6 +226,12 @@ class ServingGateway:
             previous, self._active = self._active, entry
             self._swaps += 1
         _LOG.info("hot-swapped %s -> %s", previous.key if previous else None, entry.key)
+        bus().metrics.counter("serving.swaps").inc()
+        emit(
+            "swap", _SOURCE,
+            alias=self.alias, previous=previous.key if previous else None,
+            model_key=entry.key,
+        )
         return True
 
     @property
@@ -335,4 +354,5 @@ class ServingGateway:
         }
         if self._batcher is not None:
             payload["batcher"] = self._batcher.stats()
+        payload["metrics"] = bus().metrics.snapshot()
         return payload

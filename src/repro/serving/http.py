@@ -28,6 +28,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from ..utils.logging import get_logger
+from .batcher import QueueFullError
 from .gateway import ServingGateway
 
 __all__ = ["GatewayHTTPServer", "serve_http"]
@@ -43,11 +44,13 @@ class _Handler(BaseHTTPRequestHandler):
     def log_message(self, format, *args):  # noqa: A002 — stdlib signature
         pass
 
-    def _reply(self, status: int, payload: dict) -> None:
+    def _reply(self, status: int, payload: dict, headers: Optional[dict] = None) -> None:
         body = json.dumps(payload).encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -90,6 +93,16 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             image = np.asarray(doc["image"], dtype=np.float32)
             verdict = self.gateway.classify(image, timeout=self.request_timeout_s)
+        except QueueFullError as exc:
+            # Explicit overload response: clients back off instead of
+            # piling latency onto an already-saturated queue.
+            retry_after = max(1, int(round(exc.retry_after_s + 0.5)))
+            self._reply(
+                503,
+                {"error": str(exc), "retry_after_s": exc.retry_after_s},
+                headers={"Retry-After": str(retry_after)},
+            )
+            return
         except (ValueError, RuntimeError) as exc:
             self._reply(400, {"error": str(exc)})
             return

@@ -24,9 +24,10 @@ fixture architectures without touching the real zoo.
 from __future__ import annotations
 
 import hashlib
+import os
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, Iterable, List, Optional
 
 import numpy as np
 
@@ -146,13 +147,69 @@ class ModelRegistry:
 
     def keys(self) -> List[str]:
         """All checkpoint keys present in the backing store."""
-        import os
-
         names = set()
         for entry in os.listdir(self.store.root):
             if entry.startswith("model-") and entry.endswith(".npz"):
                 names.add(entry[: -len(".npz")])
         return sorted(names)
+
+    def aliases(self) -> Dict[str, str]:
+        """``alias -> checkpoint key`` for every alias pointer in the store."""
+        pointers: Dict[str, str] = {}
+        for entry in os.listdir(self.store.root):
+            if not (entry.startswith("alias-") and entry.endswith(".json")):
+                continue
+            alias = entry[len("alias-") : -len(".json")]
+            doc = self.store.get_json(self._alias_key(alias))
+            if doc and "key" in doc:
+                pointers[alias] = doc["key"]
+        return pointers
+
+    # ------------------------------------------------------------------
+    # Garbage collection
+    # ------------------------------------------------------------------
+    def gc(
+        self,
+        dry_run: bool = False,
+        keep: Iterable[str] = (),
+    ) -> Dict[str, Any]:
+        """Remove checkpoints no alias points at (``repro registry gc``).
+
+        A checkpoint survives when an alias resolves to it or its key is
+        in ``keep`` (exact keys or unambiguous prefixes).  ``dry_run``
+        reports what *would* be removed without touching the store.
+        Returns ``{"removed": [...], "kept": [...], "freed_bytes": int,
+        "dry_run": bool}``.
+        """
+        aliased = set(self.aliases().values())
+        keep = tuple(keep)
+        removed: List[str] = []
+        kept: List[str] = []
+        freed = 0
+        for key in self.keys():
+            pinned = key in aliased or any(
+                key == pin or key.startswith(pin) for pin in keep
+            )
+            if pinned:
+                kept.append(key)
+                continue
+            for suffix in (".npz", ".json"):
+                path = self.store.path(key, suffix)
+                sidecar = path + ".sha256"
+                for victim in (path, sidecar):
+                    if os.path.exists(victim):
+                        freed += os.path.getsize(victim)
+                if not dry_run:
+                    self.store.delete(key, suffix)
+            removed.append(key)
+        if not dry_run and removed:
+            _LOG.info("registry gc removed %d checkpoints (%d bytes)", len(removed), freed)
+        return {
+            "removed": removed,
+            "kept": kept,
+            "freed_bytes": freed,
+            "dry_run": dry_run,
+        }
 
     # ------------------------------------------------------------------
     # Loading

@@ -1,0 +1,302 @@
+"""The in-process telemetry event bus.
+
+One :class:`TelemetryBus` per process fans typed events out to attached
+sinks (JSONL files, ring buffers, loggers) and in-process subscribers
+(callables), and owns the process's
+:class:`~repro.telemetry.metrics.MetricsRegistry`.  Instrumented code
+calls :func:`emit` unconditionally; when nothing is attached the call is a
+single attribute check and an immediate return, which is what keeps the
+instrumented pruning round within the <5% overhead budget recorded in
+``BENCH_telemetry.json`` even with telemetry compiled into every hot loop.
+
+Process-global wiring
+---------------------
+
+``bus()`` returns the process-wide default bus.  Two ways to light it up:
+
+- :func:`telemetry_run` — context manager that attaches a rotating
+  :class:`~repro.telemetry.sinks.JsonlSink` under a run directory for the
+  duration of a run (what ``repro orchestrate`` / ``repro defend`` use);
+- the ``REPRO_TELEMETRY_DIR`` environment variable — when set, the default
+  bus lazily attaches ``<dir>/telemetry-<pid>.jsonl`` on first use.  The
+  orchestrator exports it for the run directory before spawning workers,
+  so events emitted *inside worker processes* (per-round pruning signals)
+  land in per-pid files next to the run ledger, where ``repro watch``
+  picks them all up.
+
+Subscriber or sink exceptions never propagate into the instrumented code:
+they increment the ``telemetry.dropped`` counter, the offender is detached
+after repeated failures, and the emit returns normally.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import threading
+from typing import Callable, Iterator, List, Optional
+
+from ..utils.logging import get_logger
+from .events import TelemetryEvent
+from .metrics import MetricsRegistry
+from .sinks import JsonlSink, Sink
+
+__all__ = [
+    "TelemetryBus",
+    "bus",
+    "set_bus",
+    "reset_bus",
+    "release_env_sink",
+    "emit",
+    "telemetry_run",
+    "TELEMETRY_DIR_ENV",
+]
+
+_LOG = get_logger("repro.telemetry")
+
+TELEMETRY_DIR_ENV = "REPRO_TELEMETRY_DIR"
+
+# A sink/subscriber is detached after this many consecutive failures.
+_MAX_FAILURES = 3
+
+Subscriber = Callable[[TelemetryEvent], None]
+
+
+class TelemetryBus:
+    """Thread-safe publish/subscribe hub with attached sinks and metrics."""
+
+    def __init__(self) -> None:
+        self.metrics = MetricsRegistry()
+        self._sinks: List[Sink] = []
+        self._subscribers: List[Subscriber] = []
+        self._failures: dict = {}
+        self._lock = threading.Lock()
+        self._seq = 0
+        # Fast-path flag: emit() bails immediately while nothing listens.
+        self._active = False
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    @property
+    def active(self) -> bool:
+        """True when at least one sink or subscriber is attached."""
+        return self._active
+
+    def _refresh_active(self) -> None:
+        self._active = bool(self._sinks or self._subscribers)
+
+    def attach(self, sink: Sink) -> Sink:
+        """Attach a sink; returns it (for later :meth:`detach`)."""
+        with self._lock:
+            if sink not in self._sinks:
+                self._sinks.append(sink)
+            self._refresh_active()
+        return sink
+
+    def detach(self, sink: Sink, close: bool = False) -> None:
+        with self._lock:
+            if sink in self._sinks:
+                self._sinks.remove(sink)
+            self._failures.pop(id(sink), None)
+            self._refresh_active()
+        if close:
+            sink.close()
+
+    def subscribe(self, fn: Subscriber) -> Subscriber:
+        """Register an in-process callback; returns it (for unsubscribe)."""
+        with self._lock:
+            if fn not in self._subscribers:
+                self._subscribers.append(fn)
+            self._refresh_active()
+        return fn
+
+    def unsubscribe(self, fn: Subscriber) -> None:
+        with self._lock:
+            if fn in self._subscribers:
+                self._subscribers.remove(fn)
+            self._failures.pop(id(fn), None)
+            self._refresh_active()
+
+    # ------------------------------------------------------------------
+    # Emission
+    # ------------------------------------------------------------------
+    def emit(self, event: str, source: str = "", **fields) -> Optional[TelemetryEvent]:
+        """Publish one event; returns it, or None on the disabled fast path."""
+        if not self._active:
+            return None
+        with self._lock:
+            self._seq += 1
+            record = TelemetryEvent(event=event, source=source, seq=self._seq, fields=fields)
+            sinks = list(self._sinks)
+            subscribers = list(self._subscribers)
+        for target in sinks:
+            self._deliver(target, record, is_sink=True)
+        for target in subscribers:
+            self._deliver(target, record, is_sink=False)
+        return record
+
+    def _deliver(self, target, record: TelemetryEvent, is_sink: bool) -> None:
+        try:
+            if is_sink:
+                target.write(record)
+            else:
+                target(record)
+            self._failures.pop(id(target), None)
+        except Exception as exc:  # noqa: BLE001 — observers must not kill the loop
+            self.metrics.counter("telemetry.dropped").inc()
+            failures = self._failures.get(id(target), 0) + 1
+            self._failures[id(target)] = failures
+            _LOG.warning(
+                "telemetry %s failed on %s (%d/%d): %s",
+                "sink" if is_sink else "subscriber",
+                record.event, failures, _MAX_FAILURES, exc,
+            )
+            if failures >= _MAX_FAILURES:
+                if is_sink:
+                    self.detach(target)
+                else:
+                    self.unsubscribe(target)
+                _LOG.warning("detached failing telemetry %s", "sink" if is_sink else "subscriber")
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Metrics snapshot plus bus wiring facts (JSON-clean)."""
+        payload = self.metrics.snapshot()
+        payload["bus"] = {
+            "events_emitted": self._seq,
+            "sinks": len(self._sinks),
+            "subscribers": len(self._subscribers),
+        }
+        return payload
+
+    def close(self) -> None:
+        """Detach and close every sink, drop subscribers, keep metrics."""
+        with self._lock:
+            sinks, self._sinks = self._sinks, []
+            self._subscribers = []
+            self._failures.clear()
+            self._refresh_active()
+        for sink in sinks:
+            try:
+                sink.close()
+            except Exception:  # noqa: BLE001 — best-effort teardown
+                pass
+
+
+# ----------------------------------------------------------------------
+# Process-global default bus
+# ----------------------------------------------------------------------
+_BUS = TelemetryBus()
+_ENV_SINK_CHECKED = False
+_ENV_SINK: Optional[JsonlSink] = None
+_ENV_LOCK = threading.Lock()
+
+
+def _ensure_env_sink() -> None:
+    """Attach the ``REPRO_TELEMETRY_DIR`` JSONL sink once per process."""
+    global _ENV_SINK_CHECKED, _ENV_SINK
+    if _ENV_SINK_CHECKED:
+        return
+    with _ENV_LOCK:
+        if _ENV_SINK_CHECKED:
+            return
+        _ENV_SINK_CHECKED = True
+        directory = os.environ.get(TELEMETRY_DIR_ENV, "").strip()
+        if not directory:
+            return
+        try:
+            _ENV_SINK = JsonlSink(os.path.join(directory, f"telemetry-{os.getpid()}.jsonl"))
+        except OSError as exc:
+            _LOG.warning("cannot open telemetry sink under %s: %s", directory, exc)
+            return
+        _BUS.attach(_ENV_SINK)
+
+
+def release_env_sink() -> None:
+    """Detach/close the env-attached sink and re-arm the check.
+
+    Called by run owners (e.g. the orchestrator) that exported
+    ``REPRO_TELEMETRY_DIR`` for one run, so a later run in the same
+    process binds a fresh sink to its own directory.
+    """
+    global _ENV_SINK_CHECKED, _ENV_SINK
+    with _ENV_LOCK:
+        sink, _ENV_SINK = _ENV_SINK, None
+        _ENV_SINK_CHECKED = False
+    if sink is not None:
+        _BUS.detach(sink, close=True)
+
+
+def _fork_reset() -> None:
+    """Give a forked child a pristine bus.
+
+    The child must not inherit the parent's sinks: a JSONL sink's file
+    handle and userspace buffer are duplicated by fork, and a child-side
+    flush/close would interleave (or replay) the parent's buffered lines.
+    The inherited bus is abandoned, not closed, and the env-sink check is
+    re-armed so the child attaches its own ``telemetry-<pid>.jsonl`` when
+    ``REPRO_TELEMETRY_DIR`` is exported — this is how orchestrator worker
+    processes get per-pid telemetry files.
+    """
+    global _BUS, _ENV_SINK_CHECKED, _ENV_SINK
+    _BUS = TelemetryBus()
+    _ENV_SINK_CHECKED = False
+    _ENV_SINK = None
+
+
+if hasattr(os, "register_at_fork"):
+    os.register_at_fork(after_in_child=_fork_reset)
+
+
+def bus() -> TelemetryBus:
+    """The process-wide default bus (env sink attached lazily)."""
+    _ensure_env_sink()
+    return _BUS
+
+
+def set_bus(new_bus: TelemetryBus) -> TelemetryBus:
+    """Swap the default bus (tests); returns the previous one."""
+    global _BUS
+    previous, _BUS = _BUS, new_bus
+    return previous
+
+
+def reset_bus() -> None:
+    """Fresh default bus; re-arms the env-sink check (tests, fork hooks)."""
+    global _BUS, _ENV_SINK_CHECKED, _ENV_SINK
+    _BUS.close()
+    _BUS = TelemetryBus()
+    _ENV_SINK_CHECKED = False
+    _ENV_SINK = None
+
+
+def emit(event: str, source: str = "", **fields) -> Optional[TelemetryEvent]:
+    """Module-level convenience for ``bus().emit(...)``.
+
+    The disabled path costs one global read plus the in-method active
+    check — cheap enough to leave in every hot loop unconditionally.
+    """
+    if not _ENV_SINK_CHECKED:
+        _ensure_env_sink()
+    return _BUS.emit(event, source, **fields)
+
+
+@contextlib.contextmanager
+def telemetry_run(
+    run_dir: str,
+    filename: str = "telemetry.jsonl",
+    max_bytes: Optional[int] = 16 * 1024 * 1024,
+    backups: int = 3,
+    target: Optional[TelemetryBus] = None,
+) -> Iterator[JsonlSink]:
+    """Attach a rotating per-run JSONL sink for the duration of a block."""
+    owner = target if target is not None else bus()
+    sink = JsonlSink(os.path.join(run_dir, filename), max_bytes=max_bytes, backups=backups)
+    owner.attach(sink)
+    try:
+        yield sink
+    finally:
+        owner.detach(sink, close=True)

@@ -1,0 +1,97 @@
+"""Typed telemetry event records and JSON-safe value sanitization.
+
+Every signal the library streams — pruning rounds, tuning epochs, task
+lifecycle changes, serving swaps — is one :class:`TelemetryEvent`: a
+timestamp, a monotonically increasing per-bus sequence number, an event
+name, the emitting source (dotted module-ish string), and a flat-ish dict
+of fields.  Events must survive two serializations that are stricter than
+"whatever repr prints":
+
+- the per-run JSONL sink writes ``json.dumps(..., allow_nan=False)`` so a
+  downstream ``jq``/``pandas`` reader never chokes on bare ``NaN`` tokens;
+- the ``repro watch`` tailer folds the same lines back with ``json.loads``.
+
+:func:`sanitize_value` therefore normalizes everything up front: numpy
+scalars/arrays become Python numbers/lists, non-finite floats become the
+strings ``"nan"`` / ``"inf"`` / ``"-inf"`` (lossless to grep, valid JSON),
+mappings and sequences recurse with a depth cap, non-string keys are
+coerced with ``str`` (unicode keys pass through untouched), and anything
+else falls back to ``str(value)``.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+__all__ = ["TelemetryEvent", "sanitize_value", "RESERVED_KEYS"]
+
+# Keys owned by the event envelope; colliding field names get a "field_"
+# prefix so a payload can never shadow the timestamp or event name.
+RESERVED_KEYS = frozenset({"ts", "seq", "event", "source"})
+
+_MAX_DEPTH = 6
+
+
+def sanitize_value(value: Any, _depth: int = 0) -> Any:
+    """Coerce ``value`` into something ``json.dumps(allow_nan=False)`` accepts.
+
+    Non-finite floats become the strings ``"nan"`` / ``"inf"`` / ``"-inf"``;
+    numpy scalars and arrays become native numbers and lists; mappings and
+    sequences recurse (keys coerced to ``str``) down to a fixed depth, after
+    which the remainder is flattened with ``str``.
+    """
+    if value is None or isinstance(value, (bool, str, int)):
+        return value
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "nan"
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
+        return value
+    # numpy scalars expose .item(); arrays expose .tolist().  Checked by duck
+    # typing so this module never imports numpy on the hot path.
+    if hasattr(value, "item") and not hasattr(value, "__len__"):
+        try:
+            return sanitize_value(value.item(), _depth)
+        except (ValueError, TypeError):
+            return str(value)
+    if _depth >= _MAX_DEPTH:
+        return str(value)
+    if isinstance(value, dict):
+        return {str(k): sanitize_value(v, _depth + 1) for k, v in value.items()}
+    if hasattr(value, "tolist"):
+        return sanitize_value(value.tolist(), _depth + 1)
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [sanitize_value(v, _depth + 1) for v in value]
+    if isinstance(value, bytes):
+        return value.decode("utf-8", errors="replace")
+    return str(value)
+
+
+@dataclass
+class TelemetryEvent:
+    """One structured telemetry record."""
+
+    event: str
+    source: str = ""
+    ts: float = field(default_factory=time.time)
+    seq: int = 0
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> Dict[str, Any]:
+        """Flat, sanitized dict ready for ``json.dumps(allow_nan=False)``."""
+        record: Dict[str, Any] = {
+            "ts": round(self.ts, 4),
+            "seq": self.seq,
+            "event": self.event,
+            "source": self.source,
+        }
+        for key, value in self.fields.items():
+            name = str(key)
+            if name in RESERVED_KEYS:
+                name = f"field_{name}"
+            record[name] = sanitize_value(value)
+        return record

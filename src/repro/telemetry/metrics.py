@@ -1,0 +1,166 @@
+"""Counters, gauges, and histograms with a JSON snapshot API.
+
+The registry is the *aggregated* half of the telemetry subsystem: events
+stream point-in-time facts, metrics fold them into cheap running state a
+``stats()`` endpoint or the ``repro watch`` dashboard can poll without
+replaying a log.  All types are thread-safe (the serving drain thread,
+HTTP handler threads, and the orchestrator main loop all write here).
+
+- :class:`Counter` — monotonically increasing total.
+- :class:`Gauge` — last-write-wins instantaneous value (queue depth).
+- :class:`Histogram` — count/sum/min/max plus a bounded reservoir of the
+  most recent samples, summarized through the repo-wide
+  :func:`repro.utils.timing.latency_summary` so "p99" means the same thing
+  here as in every ``BENCH_*.json``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Dict, Optional
+
+from ..utils.timing import latency_summary
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """Monotonic counter; ``inc`` with a negative amount is rejected."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (got {amount})")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def snapshot(self) -> int:
+        return self._value
+
+
+class Gauge:
+    """Instantaneous value; unset gauges snapshot as None."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value: Optional[float] = None
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def add(self, delta: float) -> float:
+        with self._lock:
+            self._value = (self._value or 0.0) + float(delta)
+            return self._value
+
+    @property
+    def value(self) -> Optional[float]:
+        return self._value
+
+    def snapshot(self) -> Optional[float]:
+        return self._value
+
+
+class Histogram:
+    """Running distribution: exact count/sum/min/max, recent-window quantiles."""
+
+    def __init__(self, name: str, window: int = 2048) -> None:
+        self.name = name
+        self._count = 0
+        self._sum = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+        self._recent: deque = deque(maxlen=window)
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self._count += 1
+            self._sum += value
+            self._min = value if self._min is None else min(self._min, value)
+            self._max = value if self._max is None else max(self._max, value)
+            self._recent.append(value)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            recent = list(self._recent)
+            summary: Dict[str, Any] = {
+                "count": self._count,
+                "sum": self._sum,
+                "min": self._min,
+                "max": self._max,
+            }
+        # Percentiles come from the bounded recent window (the exact
+        # count/sum/min/max above cover the full lifetime).
+        window = latency_summary(recent)
+        for key in ("p50", "p90", "p99", "mean"):
+            if key in window:
+                summary[key] = window[key]
+        return summary
+
+
+class MetricsRegistry:
+    """Get-or-create registry keyed by metric name.
+
+    Asking for an existing name with a different type raises — silent
+    type shadowing would corrupt the snapshot.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Any] = {}
+        self._lock = threading.Lock()
+
+    def _get(self, name: str, cls, **kwargs):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = cls(name, **kwargs)
+                self._metrics[name] = metric
+            elif not isinstance(metric, cls):
+                raise TypeError(
+                    f"metric {name!r} is a {type(metric).__name__}, not {cls.__name__}"
+                )
+            return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str, window: int = 2048) -> Histogram:
+        return self._get(name, Histogram, window=window)
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """All metrics, grouped by type, as JSON-clean primitives."""
+        with self._lock:
+            items = list(self._metrics.items())
+        grouped: Dict[str, Dict[str, Any]] = {"counters": {}, "gauges": {}, "histograms": {}}
+        for name, metric in sorted(items):
+            if isinstance(metric, Counter):
+                grouped["counters"][name] = metric.snapshot()
+            elif isinstance(metric, Gauge):
+                grouped["gauges"][name] = metric.snapshot()
+            else:
+                grouped["histograms"][name] = metric.snapshot()
+        return grouped
+
+    def clear(self) -> None:
+        with self._lock:
+            self._metrics.clear()

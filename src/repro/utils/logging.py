@@ -28,8 +28,6 @@ __all__ = ["get_logger", "log_event", "Timer", "LOG_LEVEL_ENV"]
 
 LOG_LEVEL_ENV = "REPRO_LOG_LEVEL"
 
-_CONFIGURED = False
-
 
 def _env_level() -> Optional[int]:
     """Parse ``REPRO_LOG_LEVEL`` (name or number); None if unset/invalid."""
@@ -49,9 +47,12 @@ def get_logger(name: str = "repro", level: Optional[int] = None) -> logging.Logg
     ``level`` (when given) is applied to the named logger on every call;
     ``REPRO_LOG_LEVEL`` sets the ``repro`` root level.
     """
-    global _CONFIGURED
     root = logging.getLogger("repro")
-    if not _CONFIGURED:
+    # Configure off the logger's own handler list, not a module flag: a
+    # re-import or a test's logging teardown can clear handlers while the
+    # flag stays latched, and a module-level flag would double-install on
+    # importlib.reload.  Either way this stays single-handler.
+    if not root.handlers:
         handler = logging.StreamHandler(sys.stderr)
         handler.setFormatter(
             logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s", "%H:%M:%S")
@@ -59,7 +60,6 @@ def get_logger(name: str = "repro", level: Optional[int] = None) -> logging.Logg
         root.addHandler(handler)
         root.setLevel(logging.INFO)
         root.propagate = False
-        _CONFIGURED = True
     env_level = _env_level()
     if env_level is not None:
         root.setLevel(env_level)
@@ -71,10 +71,18 @@ def get_logger(name: str = "repro", level: Optional[int] = None) -> logging.Logg
 
 def _format_value(value) -> str:
     if isinstance(value, float):
-        return f"{value:.3f}"
+        # f-strings render nan/inf as-is; keep them greppable, not "nan="
+        # artifacts that break downstream float() parsing expectations.
+        return f"{value:.3f}" if value == value and abs(value) != float("inf") else str(value)
+    if isinstance(value, (dict, list, tuple)):
+        # Nested payloads: compact JSON keeps the line one-token-per-field.
+        try:
+            return json.dumps(value, sort_keys=True, separators=(",", ":"), default=str)
+        except (TypeError, ValueError):
+            return json.dumps(str(value))
     text = str(value)
     if " " in text or "=" in text or not text:
-        return json.dumps(text)
+        return json.dumps(text, ensure_ascii=False)
     return text
 
 

@@ -1,11 +1,12 @@
-"""MicroBatcher: flush triggers, drain semantics, failure delivery."""
+"""MicroBatcher: flush triggers, drain semantics, admission control."""
 
 import threading
 import time
 
 import pytest
 
-from repro.serving import MicroBatcher
+from repro.serving import MicroBatcher, QueueFullError
+from repro.telemetry import MemorySink, TelemetryBus, set_bus
 from repro.utils.timing import hard_timeout
 
 
@@ -150,12 +151,94 @@ class TestFailureDelivery:
         batcher.close(timeout=30)
 
 
+class TestAdmissionControl:
+    def _wedged_batcher(self, max_queue=2):
+        """A batcher whose process callback blocks until released."""
+        release = threading.Event()
+
+        def process(requests):
+            release.wait(20.0)
+            for r in requests:
+                r.future.set_result(r.payload)
+
+        batcher = MicroBatcher(process, max_batch=1, max_wait_ms=1.0, max_queue=max_queue)
+        return batcher, release
+
+    def test_no_limit_by_default(self, guard):
+        batcher, _ = _collecting_batcher()
+        assert batcher.max_queue is None
+
+    def test_queue_full_raises_with_metadata(self, guard):
+        batcher, release = self._wedged_batcher(max_queue=2)
+        batcher.start()
+        accepted = [batcher.submit(i) for i in range(2)]
+        assert batcher.queue_depth() == 2
+        with pytest.raises(QueueFullError, match="queue full") as excinfo:
+            batcher.submit(99)
+        assert excinfo.value.depth == 2
+        assert excinfo.value.limit == 2
+        assert excinfo.value.retry_after_s >= 0.05
+        release.set()
+        # Accepted requests were untouched by the rejection.
+        assert [f.result(timeout=30) for f in accepted] == [0, 1]
+        batcher.close(timeout=30)
+        stats = batcher.stats()
+        assert stats["rejected"] == 1
+        assert stats["submitted"] == 2
+        assert stats["completed"] == 2
+        assert stats["queue_depth"] == 0
+
+    def test_depth_recovers_after_drain(self, guard):
+        batcher, release = self._wedged_batcher(max_queue=1)
+        batcher.start()
+        first = batcher.submit("a")
+        with pytest.raises(QueueFullError):
+            batcher.submit("b")
+        release.set()
+        first.result(timeout=30)
+        # Once the wedge clears, admission control lets traffic back in.
+        with hard_timeout(30.0, "post-drain resubmit wedged"):
+            while True:
+                try:
+                    again = batcher.submit("c")
+                    break
+                except QueueFullError:
+                    time.sleep(0.005)
+        assert again.result(timeout=30) == "c"
+        batcher.close(timeout=30)
+
+    def test_rejection_emits_overload_event_and_counter(self, guard):
+        sink = MemorySink()
+        fresh = TelemetryBus()
+        fresh.attach(sink)
+        previous = set_bus(fresh)
+        try:
+            batcher, release = self._wedged_batcher(max_queue=1)
+            batcher.start()
+            held = batcher.submit("x")
+            with pytest.raises(QueueFullError):
+                batcher.submit("y")
+            release.set()
+            held.result(timeout=30)
+            batcher.close(timeout=30)
+            events = sink.named("overload_rejected")
+            assert len(events) == 1
+            assert events[0].fields["depth"] == 1
+            assert events[0].fields["limit"] == 1
+            assert events[0].fields["retry_after_s"] > 0
+            assert fresh.metrics.counter("serving.overload_rejected").value == 1
+        finally:
+            set_bus(previous)
+
+
 class TestValidation:
     def test_bad_parameters_rejected(self):
         with pytest.raises(ValueError):
             MicroBatcher(lambda b: None, max_batch=0)
         with pytest.raises(ValueError):
             MicroBatcher(lambda b: None, max_wait_ms=-1.0)
+        with pytest.raises(ValueError):
+            MicroBatcher(lambda b: None, max_queue=0)
 
     def test_double_start_rejected(self, guard):
         batcher, _ = _collecting_batcher()

@@ -1,6 +1,7 @@
-"""JSON-over-HTTP front: predict/swap/healthz/stats round trips."""
+"""JSON-over-HTTP front: predict/swap/healthz/stats round trips, overload."""
 
 import json
+import threading
 import urllib.error
 import urllib.request
 
@@ -19,7 +20,7 @@ def http_front(gateway):
     server.stop()
 
 
-def _call(server, method, path, payload=None):
+def _call_full(server, method, path, payload=None):
     host, port = server.address
     body = json.dumps(payload).encode() if payload is not None else None
     request = urllib.request.Request(
@@ -28,9 +29,14 @@ def _call(server, method, path, payload=None):
     )
     try:
         with urllib.request.urlopen(request, timeout=30) as response:
-            return response.status, json.loads(response.read())
+            return response.status, json.loads(response.read()), dict(response.headers)
     except urllib.error.HTTPError as error:
-        return error.code, json.loads(error.read())
+        return error.code, json.loads(error.read()), dict(error.headers)
+
+
+def _call(server, method, path, payload=None):
+    status, doc, _headers = _call_full(server, method, path, payload)
+    return status, doc
 
 
 class TestEndpoints:
@@ -68,3 +74,36 @@ class TestEndpoints:
     def test_unknown_path_404(self, http_front, guard):
         status, doc = _call(http_front, "GET", "/nope")
         assert status == 404
+
+
+class TestOverload:
+    def test_queue_full_maps_to_503_with_retry_after(self, http_front, gateway, guard):
+        """With the queue wedged at capacity, /predict sheds load explicitly."""
+        image = make_tiny_dataset(1, seed=0).images[0]
+        batcher = gateway._batcher
+        release = threading.Event()
+        original_process = batcher.process_batch
+
+        def wedged(batch):
+            release.wait(20.0)
+            original_process(batch)
+
+        batcher.process_batch = wedged
+        original_limit, batcher.max_queue = batcher.max_queue, 1
+        try:
+            held = gateway.submit(image)  # occupies the single queue slot
+            status, doc, headers = _call_full(
+                http_front, "POST", "/predict", {"image": image.tolist()}
+            )
+            assert status == 503
+            assert "queue full" in doc["error"]
+            assert doc["retry_after_s"] > 0
+            assert int(headers["Retry-After"]) >= 1
+        finally:
+            release.set()
+            batcher.max_queue = original_limit
+            batcher.process_batch = original_process
+        assert held.result(timeout=30).verdict == "clean"
+        # The queue drains and serving resumes normally.
+        status, doc = _call(http_front, "POST", "/predict", {"image": image.tolist()})
+        assert status == 200

@@ -1,4 +1,6 @@
-"""ModelRegistry: content addressing, aliases, load round trips."""
+"""ModelRegistry: content addressing, aliases, load round trips, gc."""
+
+import os
 
 import numpy as np
 import pytest
@@ -55,6 +57,56 @@ class TestAliases:
             factory_kwargs={"num_classes": 3, "seed": 5},
         )
         assert registry.resolve("default") == key1
+
+
+class TestGarbageCollection:
+    def test_aliases_mapping(self, registry):
+        stable = publish_tiny(registry, seed=0, alias="stable")
+        canary = publish_tiny(registry, seed=1, alias="canary")
+        assert registry.aliases() == {"stable": stable, "canary": canary}
+
+    def test_gc_removes_unaliased_keeps_aliased(self, registry):
+        live = publish_tiny(registry, seed=0)  # advances "default"
+        orphan = publish_tiny(registry, seed=1, alias=None)
+        report = registry.gc()
+        assert report["removed"] == [orphan]
+        assert live in report["kept"]
+        assert report["freed_bytes"] > 0
+        assert report["dry_run"] is False
+        assert registry.keys() == [live]
+        assert not os.path.exists(registry.store.path(orphan, ".npz"))
+        assert not os.path.exists(registry.store.path(orphan, ".json"))
+        # The survivor still loads.
+        assert registry.load(live).key == live
+
+    def test_gc_dry_run_touches_nothing(self, registry):
+        publish_tiny(registry, seed=0)
+        orphan = publish_tiny(registry, seed=1, alias=None)
+        report = registry.gc(dry_run=True)
+        assert report["removed"] == [orphan]
+        assert report["dry_run"] is True
+        assert report["freed_bytes"] > 0
+        assert orphan in registry.keys()
+        assert registry.load(orphan).key == orphan
+
+    def test_gc_keep_pins_by_exact_key_and_prefix(self, registry):
+        publish_tiny(registry, seed=0)
+        pinned = publish_tiny(registry, seed=1, alias=None)
+        prefixed = publish_tiny(registry, seed=2, alias=None)
+        report = registry.gc(keep=[pinned, prefixed[:12]])
+        assert report["removed"] == []
+        assert set(registry.keys()) >= {pinned, prefixed}
+
+    def test_gc_removes_sha256_sidecars(self, registry):
+        orphan = publish_tiny(registry, seed=3, alias=None)
+        sidecar = registry.store.path(orphan, ".npz") + ".sha256"
+        assert os.path.exists(sidecar)
+        registry.gc()
+        assert not os.path.exists(sidecar)
+
+    def test_gc_on_empty_registry(self, registry):
+        report = registry.gc()
+        assert report == {"removed": [], "kept": [], "freed_bytes": 0, "dry_run": False}
 
 
 class TestLoad:

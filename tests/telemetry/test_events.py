@@ -1,0 +1,121 @@
+"""Sanitization and record-formatting edge cases for telemetry events."""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.telemetry import RESERVED_KEYS, TelemetryEvent, sanitize_value
+
+
+class TestSanitizeValue:
+    def test_passthrough_primitives(self):
+        for value in (None, True, False, 0, -3, "text", 1.5):
+            assert sanitize_value(value) == value
+
+    def test_nan_becomes_string(self):
+        assert sanitize_value(float("nan")) == "nan"
+
+    def test_infinities_become_strings(self):
+        assert sanitize_value(float("inf")) == "inf"
+        assert sanitize_value(float("-inf")) == "-inf"
+
+    def test_numpy_scalars_become_native(self):
+        assert sanitize_value(np.float32(1.5)) == pytest.approx(1.5)
+        assert sanitize_value(np.int64(7)) == 7
+        assert isinstance(sanitize_value(np.int64(7)), int)
+        assert sanitize_value(np.bool_(True)) is True
+
+    def test_numpy_nan_scalar(self):
+        assert sanitize_value(np.float64("nan")) == "nan"
+
+    def test_numpy_array_becomes_list(self):
+        out = sanitize_value(np.array([1.0, float("nan"), 3.0]))
+        assert out == [1.0, "nan", 3.0]
+
+    def test_nested_dict_recurses(self):
+        out = sanitize_value({"a": {"b": float("inf")}, "c": [1, float("nan")]})
+        assert out == {"a": {"b": "inf"}, "c": [1, "nan"]}
+
+    def test_non_string_keys_coerced(self):
+        assert sanitize_value({1: "x", (2, 3): "y"}) == {"1": "x", "(2, 3)": "y"}
+
+    def test_unicode_keys_pass_through(self):
+        out = sanitize_value({"ξ_score": 0.5, "прун": 1})
+        assert out == {"ξ_score": 0.5, "прун": 1}
+
+    def test_tuple_and_set_become_lists(self):
+        assert sanitize_value((1, 2)) == [1, 2]
+        assert sorted(sanitize_value({1, 2})) == [1, 2]
+
+    def test_bytes_decoded_with_replacement(self):
+        assert sanitize_value(b"ok") == "ok"
+        assert "�" in sanitize_value(b"\xff\xfe")
+
+    def test_depth_cap_flattens(self):
+        deep = {"k": None}
+        for _ in range(10):
+            deep = {"k": deep}
+        out = sanitize_value(deep)
+        # Walk to the cap: the remainder must be a string, not a dict.
+        node = out
+        while isinstance(node, dict):
+            node = node["k"]
+        assert isinstance(node, str)
+
+    def test_arbitrary_object_falls_back_to_str(self):
+        class Odd:
+            def __str__(self):
+                return "odd!"
+
+        assert sanitize_value(Odd()) == "odd!"
+
+    def test_everything_survives_strict_json(self):
+        payload = sanitize_value(
+            {
+                "nan": float("nan"),
+                "inf": float("inf"),
+                "arr": np.arange(3),
+                "nested": {"deep": (float("-inf"), np.float32(2.0))},
+                1: b"\xff",
+            }
+        )
+        text = json.dumps(payload, allow_nan=False)
+        assert json.loads(text)["nan"] == "nan"
+
+
+class TestTelemetryEvent:
+    def test_to_json_envelope(self):
+        event = TelemetryEvent(event="e", source="s", ts=123.456789, seq=9, fields={"x": 1})
+        record = event.to_json()
+        assert record["event"] == "e"
+        assert record["source"] == "s"
+        assert record["seq"] == 9
+        assert record["ts"] == pytest.approx(123.4568)
+        assert record["x"] == 1
+
+    def test_reserved_field_keys_are_prefixed(self):
+        record = TelemetryEvent(event="e", fields={"ts": "boom", "event": "shadow"}).to_json()
+        assert record["event"] == "e"
+        assert record["field_ts"] == "boom"
+        assert record["field_event"] == "shadow"
+        assert RESERVED_KEYS <= set(record)
+
+    def test_non_finite_fields_round_trip_strict_json(self):
+        record = TelemetryEvent(
+            event="e", fields={"loss": float("nan"), "score": float("inf")}
+        ).to_json()
+        decoded = json.loads(json.dumps(record, allow_nan=False))
+        assert decoded["loss"] == "nan"
+        assert decoded["score"] == "inf"
+
+    def test_default_timestamp_is_now(self):
+        import time
+
+        record = TelemetryEvent(event="e").to_json()
+        assert abs(record["ts"] - time.time()) < 5.0
+
+    def test_math_nan_variants(self):
+        assert sanitize_value(math.nan) == "nan"
+        assert sanitize_value(math.inf) == "inf"

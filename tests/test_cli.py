@@ -259,3 +259,84 @@ class TestServeCommand:
         ])
         assert code == 1
         assert "--no-bootstrap" in capsys.readouterr().out
+
+
+class TestWatchCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["watch", "/tmp/run"])
+        assert args.command == "watch"
+        assert args.target == "/tmp/run"
+        assert args.interval == 1.0
+        assert args.once is False
+        assert args.duration is None
+        assert args.width == 78
+
+    def test_missing_target_fails_gracefully(self, tmp_path, capsys):
+        assert main(["watch", str(tmp_path / "nope"), "--once"]) == 1
+        assert "no such run" in capsys.readouterr().out
+
+    def test_once_renders_run_dir(self, tmp_path, capsys):
+        import json
+
+        records = [
+            {"event": "run_meta", "experiment": "table1", "workers": 2},
+            {"event": "queued", "task": "trial:t0", "kind": "trial"},
+            {"event": "finished", "task": "trial:t0", "ts": 5.0,
+             "result": {"metrics": {"acc": 0.9, "asr": 0.04, "ra": 0.8}}},
+        ]
+        with open(tmp_path / "ledger.jsonl", "w") as handle:
+            for record in records:
+                handle.write(json.dumps(record) + "\n")
+        assert main(["watch", str(tmp_path), "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out and "ASR" in out
+
+    def test_empty_stream_exits_nonzero(self, tmp_path, capsys):
+        (tmp_path / "ledger.jsonl").write_text("")
+        assert main(["watch", str(tmp_path), "--once"]) == 1
+
+
+class TestRegistryCommand:
+    def test_parser_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["registry"])
+
+    def test_gc_parser_defaults(self):
+        args = build_parser().parse_args(["registry", "gc"])
+        assert args.registry_command == "gc"
+        assert args.registry is None
+        assert args.dry_run is False
+        assert args.keep == []
+
+    def test_gc_missing_registry_dir_fails(self, tmp_path, capsys):
+        code = main(["registry", "gc", "--registry", str(tmp_path / "absent")])
+        assert code == 1
+        assert "no registry" in capsys.readouterr().out
+
+    def test_gc_dry_run_reports_without_deleting(self, tmp_path, capsys):
+        from repro.serving import ModelRegistry
+
+        from tests.serving.conftest import publish_tiny, tiny_factory
+
+        registry = ModelRegistry(str(tmp_path), factory=tiny_factory)
+        publish_tiny(registry, seed=0)
+        orphan = publish_tiny(registry, seed=1, alias=None)
+        code = main(["registry", "gc", "--registry", str(tmp_path), "--dry-run"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "would remove 1 checkpoint(s)" in out
+        assert orphan in out
+        assert orphan in registry.keys()
+
+    def test_gc_removes_orphans(self, tmp_path, capsys):
+        from repro.serving import ModelRegistry
+
+        from tests.serving.conftest import publish_tiny, tiny_factory
+
+        registry = ModelRegistry(str(tmp_path), factory=tiny_factory)
+        live = publish_tiny(registry, seed=0)
+        publish_tiny(registry, seed=1, alias=None)
+        code = main(["registry", "gc", "--registry", str(tmp_path)])
+        assert code == 0
+        assert "removed 1 checkpoint(s)" in capsys.readouterr().out
+        assert registry.keys() == [live]

@@ -111,6 +111,70 @@ class TestLogEvent:
             logger.removeHandler(caplog.handler)
         assert 'error="worker died (killed or crashed)"' in caplog.records[-1].message
 
+    def _render(self, caplog, **fields):
+        from repro.utils import log_event
+
+        logger = get_logger("repro.event_fmt")
+        logger.addHandler(caplog.handler)
+        try:
+            log_event(logger, "fmt", **fields)
+        finally:
+            logger.removeHandler(caplog.handler)
+        return caplog.records[-1].message
+
+    def test_nan_and_inf_render_as_words(self, caplog):
+        line = self._render(
+            caplog, loss=float("nan"), hi=float("inf"), lo=float("-inf")
+        )
+        assert "loss=nan" in line
+        assert "hi=inf" in line
+        assert "lo=-inf" in line
+
+    def test_nested_dict_renders_compact_json(self, caplog):
+        line = self._render(caplog, state={"b": 2, "a": [1, 2]})
+        # Sorted keys, no spaces: one shell-greppable token per field.
+        assert 'state={"a":[1,2],"b":2}' in line
+
+    def test_tuple_renders_as_json_list(self, caplog):
+        line = self._render(caplog, shape=(3, 32, 32))
+        assert "shape=[3,32,32]" in line
+
+    def test_unjsonable_nested_value_falls_back_to_str(self, caplog):
+        class Odd:
+            def __str__(self):
+                return "odd"
+
+        line = self._render(caplog, payload={"obj": Odd()})
+        assert 'payload={"obj":"odd"}' in line
+
+    def test_unicode_values_not_escaped(self, caplog):
+        line = self._render(caplog, note="ξ score идёт")
+        assert 'note="ξ score идёт"' in line
+
+    def test_empty_string_quoted(self, caplog):
+        assert 'name=""' in self._render(caplog, name="")
+
+
+class TestGetLoggerReinit:
+    def test_reconfigures_after_handlers_cleared_without_duplicating(self):
+        root = logging.getLogger("repro")
+        get_logger("repro.reinit_a")
+        assert len(root.handlers) == 1
+        # A second call must not stack a second handler...
+        get_logger("repro.reinit_b")
+        assert len(root.handlers) == 1
+        # ...and a cleared logger (test teardown, reload) must be repaired,
+        # again exactly once.
+        saved = list(root.handlers)
+        root.handlers.clear()
+        try:
+            get_logger("repro.reinit_c")
+            assert len(root.handlers) == 1
+            get_logger("repro.reinit_d")
+            assert len(root.handlers) == 1
+        finally:
+            root.handlers[:] = saved
+
 
 class TestPercentiles:
     def test_known_quantiles(self):
