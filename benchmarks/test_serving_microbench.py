@@ -133,7 +133,13 @@ def test_serving_throughput_and_microbatch_speedup(registry, pool):
 
 
 def test_strip_serving_overhead(registry, pool):
-    """Record what the STRIP pre-filter costs per request (informational)."""
+    """Record what the STRIP pre-filter costs per request (informational).
+
+    The gateway uses one *shared* overlay set per micro-batch (a 1-D
+    ``overlay_idx``): each batch gathers ``strip_overlays`` pool images once
+    and broadcasts the blend, instead of fancy-indexing ``overlays * batch``
+    pool rows per request stack.  ``overlay_mode`` in the JSON records this.
+    """
     steady = next(m for m in STANDARD_MIXES if m.name == "steady")
     plain = _run_mixes(registry, pool, MAX_BATCH, (steady,))["steady"]
 
@@ -155,6 +161,7 @@ def test_strip_serving_overhead(registry, pool):
         payload = json.load(handle)
     payload["strip_overhead"] = {
         "overlays": 8,
+        "overlay_mode": "shared-per-batch",
         "plain_images_per_sec": plain["images_per_sec"],
         "strip_images_per_sec": filtered["images_per_sec"],
         "slowdown": round(

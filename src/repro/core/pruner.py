@@ -122,9 +122,10 @@ class GradientPruner:
         Batch size for loss/score computation.
     use_fast_path:
         Evaluate the stopping rule through the fused conv–BN-folded
-        inference path.  Scores (Eq. 3) always use the reference autograd
-        path; only the no-grad validation sweeps are accelerated, so results
-        agree with the reference within float32 tolerance.
+        inference path.  Scores (Eq. 3) run the engine-dispatched training
+        path (im2col-GEMM backward with column reuse) unless
+        ``REPRO_DISABLE_FAST_PATH=1``; both paths agree with the reference
+        autograd within float32 tolerance.
     stopping:
         A :class:`~repro.core.stopping.StoppingPolicy` instance replacing
         the default ``PatienceStopping(patience)``.  The accuracy floor

@@ -71,7 +71,10 @@ def compute_filter_scores(
     """
     loss_value = unlearning_loss_backward(model, backdoor_train, batch_size=batch_size)
     scores = filter_scores_from_grads(model, exclude=exclude)
-    model.zero_grad()
+    # Zero in place: the .grad arrays survive to the next pruning round, so
+    # every round after the first accumulates into recycled buffers instead
+    # of dropping and re-faulting a model's worth of gradient memory.
+    model.zero_grad(set_to_none=False)
     return scores, loss_value
 
 

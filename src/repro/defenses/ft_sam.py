@@ -17,6 +17,7 @@ import numpy as np
 
 from ..data.dataset import DataLoader, ImageDataset
 from ..nn import SAM, SGD, Tensor, cross_entropy, no_grad
+from ..nn.engine.training import training_step
 from ..nn.module import Module
 from .base import Defense, DefenderData, DefenseReport
 
@@ -91,12 +92,15 @@ class FTSAMDefense(Defense):
             model.train()
             epoch_loss, batches = 0.0, 0
             for images, labels in loader:
+                signature = (images.shape, images.dtype.str)
                 batch = Tensor(images)
-                loss = cross_entropy(model(batch), labels)
-                loss.backward()
+                with training_step(signature):
+                    loss = cross_entropy(model(batch), labels)
+                    loss.backward()
                 sam.first_step(zero_grad=True)
-                second_loss = cross_entropy(model(batch), labels)
-                second_loss.backward()
+                with training_step(signature):
+                    second_loss = cross_entropy(model(batch), labels)
+                    second_loss.backward()
                 sam.second_step(zero_grad=True)
                 epoch_loss += loss.item()
                 batches += 1

@@ -18,6 +18,7 @@ from .gemm import (
 from .planner import MemoryPlan, PlannedArena, SlabRequest, clear_all_arenas, plan_slabs
 from .pool import ProcessTilePool, SharedSlabs, ThreadTilePool, fork_available
 from .tiler import TILE_ENV, cache_sizes, choose_tile_shape, tile_grid
+from .training import train_step_arena, training_step
 
 __all__ = [
     "BACKEND_ENV",
@@ -40,4 +41,6 @@ __all__ = [
     "resolve_backend",
     "resolve_workers",
     "tile_grid",
+    "train_step_arena",
+    "training_step",
 ]

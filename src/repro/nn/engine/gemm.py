@@ -59,6 +59,16 @@ BACKEND_ENV = "REPRO_ENGINE_BACKEND"
 # More workers than this oversubscribes the BLAS-threaded GEMM on big boxes.
 _MAX_DEFAULT_WORKERS = 8
 
+# Reduction-split dispatch gives each worker at least this many rows of the
+# shared R dimension; shorter chunks cost more in partial-buffer traffic and
+# the parent-side reduce than the GEMM they offload.
+_MIN_REDUCTION_ROWS = 64
+
+
+# os.cpu_count() is a syscall and the training path resolves workers on
+# every backward GEMM; the count cannot change within a process.
+_CPU_COUNT = os.cpu_count() or 1
+
 
 def resolve_workers() -> int:
     """Worker count from ``REPRO_ENGINE_WORKERS``, default cpu-count capped."""
@@ -68,7 +78,7 @@ def resolve_workers() -> int:
             return max(1, int(raw))
         except ValueError:
             raise ValueError(f"{WORKERS_ENV} must be an integer, got {raw!r}") from None
-    return max(1, min(os.cpu_count() or 1, _MAX_DEFAULT_WORKERS))
+    return max(1, min(_CPU_COUNT, _MAX_DEFAULT_WORKERS))
 
 
 def resolve_backend() -> str:
@@ -92,6 +102,16 @@ def _thread_tile(a, b, out, bias, activation, m0, m1, n0, n1) -> None:
         np.maximum(sub, 0.0, out=sub)
 
 
+def _thread_tile_tn(a, b, parts, slot, r0, r1) -> None:
+    np.matmul(a[r0:r1].T, b[r0:r1], out=parts[slot])
+
+
+def _reduction_chunks(r: int, chunks: int):
+    """Split ``range(r)`` into ``chunks`` near-equal contiguous spans."""
+    bounds = np.linspace(0, r, chunks + 1).astype(int)
+    return [(int(bounds[i]), int(bounds[i + 1])) for i in range(chunks)]
+
+
 class TiledGemmEngine:
     """Tiled GEMM + fused epilogue over a persistent worker pool."""
 
@@ -99,6 +119,7 @@ class TiledGemmEngine:
         self._pool: Optional[Union[ThreadTilePool, ProcessTilePool]] = None
         self._pool_key: Optional[Tuple[str, int]] = None
         self._slabs: Optional[SharedSlabs] = None
+        self._parts_scratch: Optional[np.ndarray] = None
         # Telemetry of the most recent execute(): how the work was split.
         self.last: Dict[str, object] = {}
         # Cumulative since construction (or forked-child reset): long-lived
@@ -132,6 +153,7 @@ class TiledGemmEngine:
         if self._slabs is not None:
             self._slabs.close()
             self._slabs = None
+        self._parts_scratch = None
 
     def forget_inherited_state(self) -> None:
         """Drop pool/slab handles without teardown (forked-child hook).
@@ -144,6 +166,7 @@ class TiledGemmEngine:
         if self._slabs is not None:
             self._slabs.close()  # pid-guarded: only clears the dict in a child
             self._slabs = None
+        self._parts_scratch = None
         self.last = {}
         self.totals = {"calls": 0, "inline_calls": 0, "tiled_calls": 0, "tiles": 0}
 
@@ -212,10 +235,86 @@ class TiledGemmEngine:
             None if bias is None else np.ascontiguousarray(bias, dtype=a.dtype).tobytes()
         )
         pool.run(
-            [(a_ref, b_ref, out_ref, *tile, bias_bytes, activation) for tile in tiles]
+            [("mm", a_ref, b_ref, out_ref, *tile, bias_bytes, activation) for tile in tiles]
         )
         np.copyto(out, out_view)
         return out
+
+    def execute_tn(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        out: Optional[np.ndarray] = None,
+        accumulate: bool = False,
+    ) -> np.ndarray:
+        """``a.T @ b`` with the *reduction* dimension split across workers.
+
+        ``a`` is ``(R, M)`` and ``b`` is ``(R, N)``; the result is ``(M, N)``.
+        This is the backward-pass dW shape: the output (a weight gradient) is
+        far too small to tile as disjoint (M, N) blocks, but the shared
+        reduction dimension ``R = N*L`` is large.  Each worker computes the
+        partial product of a contiguous R-chunk into its own slot of a
+        ``(chunks, M, N)`` partials buffer — no two workers ever write the
+        same bytes — and the parent reduces the slots with one sum.
+
+        With ``accumulate=True`` the reduced product is *added* into ``out``
+        (which must be provided), matching how backward GEMMs feed shared
+        gradient buffers; otherwise ``out`` is overwritten (allocated fresh
+        when omitted).
+        """
+        r, m = a.shape
+        n = b.shape[1]
+        if accumulate and out is None:
+            raise ValueError("execute_tn(accumulate=True) requires an out buffer")
+        if out is None:
+            out = np.empty((m, n), dtype=a.dtype)
+
+        self.totals["calls"] += 1
+        workers = resolve_workers()
+        chunks = min(workers, max(1, r // _MIN_REDUCTION_ROWS))
+        if workers == 1 or chunks < 2 or 2 * m * n * r < MIN_PARALLEL_FLOPS:
+            self.totals["inline_calls"] += 1
+            return self._inline_tn(a, b, out, accumulate)
+
+        backend = resolve_backend()
+        pool = self._ensure_pool(backend, workers)
+        spans = _reduction_chunks(r, chunks)
+        self.totals["tiled_calls"] += 1
+        self.totals["tiles"] += chunks
+        self.last = {
+            "backend": backend,
+            "workers": workers,
+            "tiles": chunks,
+            "mode": "tn",
+            "mnk": (m, n, r),
+        }
+        if backend == "thread":
+            parts = self._tn_parts((chunks, m, n), a.dtype)
+            pool.run(
+                _thread_tile_tn,
+                [(a, b, parts, slot, r0, r1) for slot, (r0, r1) in enumerate(spans)],
+            )
+        else:
+            _, a_ref = self._slabs.stage("a", np.ascontiguousarray(a))
+            _, b_ref = self._slabs.stage("b", np.ascontiguousarray(b))
+            parts, parts_ref = self._slabs.empty("parts", (chunks, m, n), a.dtype)
+            pool.run(
+                [("tn", a_ref, b_ref, parts_ref, slot, r0, r1)
+                 for slot, (r0, r1) in enumerate(spans)]
+            )
+        if accumulate:
+            out += parts.sum(axis=0)
+        else:
+            np.sum(parts, axis=0, out=out)
+        return out
+
+    def _tn_parts(self, shape, dtype) -> np.ndarray:
+        """Recycled private partial-sum buffer for the thread backend."""
+        dtype = np.dtype(dtype)
+        nbytes = int(np.prod(shape)) * dtype.itemsize
+        if self._parts_scratch is None or self._parts_scratch.nbytes < nbytes:
+            self._parts_scratch = np.empty(nbytes, dtype=np.uint8)
+        return self._parts_scratch[:nbytes].view(dtype).reshape(shape)
 
     @staticmethod
     def _inline(a, b, bias, activation, out) -> np.ndarray:
@@ -224,6 +323,14 @@ class TiledGemmEngine:
             out += bias
         if activation == "relu":
             np.maximum(out, 0.0, out=out)
+        return out
+
+    @staticmethod
+    def _inline_tn(a, b, out, accumulate) -> np.ndarray:
+        if accumulate:
+            out += a.T @ b
+        else:
+            np.matmul(a.T, b, out=out)
         return out
 
 

@@ -165,9 +165,18 @@ class ThreadTilePool:
         self._threads = []
 
 
-# A process task: slab refs, the tile, and the epilogue.
-# (a_ref, b_ref, out_ref, m0, m1, n0, n1, bias_bytes | None, activation | None)
-_Task = Tuple[SlabRef, SlabRef, SlabRef, int, int, int, int, Optional[bytes], Optional[str]]
+# A process task is a tagged tuple.  Two kinds exist:
+#
+# ("mm", a_ref, b_ref, out_ref, m0, m1, n0, n1, bias_bytes | None, activation | None)
+#     Output-tiled ``a @ b``: each worker owns a disjoint (M, N) tile of the
+#     shared output slab.
+# ("tn", a_ref, b_ref, parts_ref, slot, r0, r1)
+#     Reduction-split ``a.T @ b``: each worker computes the partial product
+#     of its chunk of the shared reduction dimension R into its own slot of
+#     the (chunks, M, N) partials slab; the parent sums the slots.  Used by
+#     backward dW GEMMs whose output is too small to tile but whose
+#     reduction (N*L) is large.
+_Task = Tuple
 
 
 def _attach(ref: SlabRef, cache: Dict[str, shared_memory.SharedMemory]) -> np.ndarray:
@@ -180,7 +189,15 @@ def _attach(ref: SlabRef, cache: Dict[str, shared_memory.SharedMemory]) -> np.nd
 
 
 def _run_tile(task: _Task, cache: Dict[str, shared_memory.SharedMemory]) -> None:
-    a_ref, b_ref, out_ref, m0, m1, n0, n1, bias_bytes, activation = task
+    kind = task[0]
+    if kind == "tn":
+        _, a_ref, b_ref, parts_ref, slot, r0, r1 = task
+        a = _attach(a_ref, cache)
+        b = _attach(b_ref, cache)
+        parts = _attach(parts_ref, cache)
+        np.matmul(a[r0:r1].T, b[r0:r1], out=parts[slot])
+        return
+    _, a_ref, b_ref, out_ref, m0, m1, n0, n1, bias_bytes, activation = task
     a = _attach(a_ref, cache)
     b = _attach(b_ref, cache)
     out = _attach(out_ref, cache)

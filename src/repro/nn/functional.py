@@ -36,6 +36,7 @@ from .tensor import Tensor, is_grad_enabled
 __all__ = [
     "conv2d",
     "conv_transpose2d",
+    "linear",
     "max_pool2d",
     "avg_pool2d",
     "adaptive_avg_pool2d",
@@ -48,6 +49,9 @@ __all__ = [
     "workspace",
     "current_arena",
     "use_arena",
+    "train_workspace",
+    "current_train_arena",
+    "use_train_arena",
     "fast_path_enabled",
 ]
 
@@ -149,6 +153,41 @@ def use_arena(arena):
         _ARENA_STACK.pop()
 
 
+# Training-side scratch is kept separate from the inference arena stack: a
+# training step's backward temporaries (flattened upstream gradients, packed
+# weights, col2im scatter scratch) are alive while inference-style no-grad
+# evaluations may interleave (e.g. the pruning loop scores with gradients,
+# then evaluates the compiled model), and the two must never alias.
+_TRAIN_WORKSPACE = Workspace()
+
+_TRAIN_ARENA_STACK: List[Workspace] = []
+
+
+def train_workspace() -> Workspace:
+    """The process-wide arena used by the training fast path's temporaries."""
+    return _TRAIN_WORKSPACE
+
+
+def current_train_arena() -> Workspace:
+    """The arena training-path kernels should allocate scratch from.
+
+    Defaults to the process-wide :func:`train_workspace`; hot loops push a
+    planned arena for the duration of each forward+backward pass via
+    :func:`use_train_arena` (see :func:`repro.nn.engine.training_step`).
+    """
+    return _TRAIN_ARENA_STACK[-1] if _TRAIN_ARENA_STACK else _TRAIN_WORKSPACE
+
+
+@contextlib.contextmanager
+def use_train_arena(arena):
+    """Route training-path scratch allocations to ``arena`` inside the block."""
+    _TRAIN_ARENA_STACK.append(arena)
+    try:
+        yield arena
+    finally:
+        _TRAIN_ARENA_STACK.pop()
+
+
 def _after_fork_in_child() -> None:
     """Reset fast-path state inherited over ``fork``.
 
@@ -159,6 +198,8 @@ def _after_fork_in_child() -> None:
     """
     _WORKSPACE.clear()
     del _ARENA_STACK[:]
+    _TRAIN_WORKSPACE.clear()
+    del _TRAIN_ARENA_STACK[:]
     import sys
 
     if "repro.nn.engine.gemm" in sys.modules:
@@ -287,6 +328,7 @@ def _im2col_gemm(
     stride: Tuple[int, int],
     padding: Tuple[int, int],
     arena: Workspace,
+    out: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """Unfold ``x`` directly in single-GEMM layout ``(N*L, kh*kw*C)``.
 
@@ -298,6 +340,10 @@ def _im2col_gemm(
     the padded image, instead of sweeping the whole batch per kernel tap.
     ``x`` itself may be in any storage order (the fast path hands conv
     outputs around as channels-last views, making the transpose here free).
+
+    ``out`` overrides the destination (the training path unfolds into fresh
+    memory so the columns can survive into the backward closure, where the
+    dW GEMM reuses them); the padded image still comes from ``arena``.
     """
     n, c, h, w = x.shape
     kh, kw = kernel
@@ -323,10 +369,50 @@ def _im2col_gemm(
         strides=(s[0], s[1] * sh, s[2] * sw, s[1], s[2], s[3]),
         writeable=False,
     )
-    buf = arena.get("cols_gemm", (n * out_h * out_w, kh * kw * c), x.dtype)
+    buf = out if out is not None else arena.get(
+        "cols_gemm", (n * out_h * out_w, kh * kw * c), x.dtype
+    )
     np.copyto(buf.reshape(n, out_h, out_w, kh, kw, c), view)
     arena.release("pad")  # the unfold was the padded image's last reader
     return buf
+
+
+def _col2im_gemm(
+    cols2d: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    kernel: Tuple[int, int],
+    stride: Tuple[int, int],
+    padding: Tuple[int, int],
+    arena: Workspace,
+) -> np.ndarray:
+    """Fold single-GEMM-layout columns ``(N*L, kh*kw*C)`` back, summing overlaps.
+
+    The channels-last counterpart of :func:`col2im`, consuming the patch-major
+    layout the training fast path's dX GEMM produces.  The scatter-add runs in
+    ``(N, H, W, C)`` storage — each kernel-tap slice adds contiguous ``C``-runs
+    — and the returned array is a logically-``(N, C, H, W)`` transpose view of
+    the arena's ``"bwd_pad"`` slab, so the caller must consume it (accumulate
+    into ``.grad``) before the next op touches the arena.
+    """
+    n, c, h, w = x_shape
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = padding
+    out_h = conv_output_size(h, kh, sh, ph)
+    out_w = conv_output_size(w, kw, sw, pw)
+    if (kh, kw) == (1, 1) and (sh, sw) == (1, 1) and not (ph or pw):
+        # Pointwise stride-1 conv: the columns ARE the gradient, one view.
+        return cols2d.reshape(n, h, w, c).transpose(0, 3, 1, 2)
+    padded = arena.get("bwd_pad", (n, h + 2 * ph, w + 2 * pw, c), cols2d.dtype)
+    padded.fill(0.0)
+    cols6 = cols2d.reshape(n, out_h, out_w, kh, kw, c)
+    for i in range(kh):
+        h_end = i + sh * out_h
+        for j in range(kw):
+            w_end = j + sw * out_w
+            padded[:, i:h_end:sh, j:w_end:sw, :] += cols6[:, :, :, i, j, :]
+    core = padded[:, ph : ph + h, pw : pw + w, :] if (ph or pw) else padded
+    return core.transpose(0, 3, 1, 2)
 
 
 def col2im(
@@ -442,6 +528,109 @@ def _conv2d_infer(
     return out
 
 
+def _conv2d_train(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor],
+    stride: Tuple[int, int],
+    padding: Tuple[int, int],
+    out_h: int,
+    out_w: int,
+) -> Tensor:
+    """Gradient-path conv forward+backward on the tiled GEMM engine.
+
+    The forward is the same single-GEMM channels-last formulation as
+    :func:`_conv2d_infer`, except the unfolded columns are written to fresh
+    memory and *captured by the backward closure*: the dW GEMM consumes them
+    directly instead of re-materializing the unfold.  Backward issues three
+    engine GEMMs —
+
+    - ``dW(K, C_out) = cols.T @ grad2d`` via the reduction-split
+      ``execute_tn`` dispatch (the output is too small to tile; parallelism
+      comes from chunking the shared ``N*L`` reduction into per-worker
+      partial sums);
+    - ``grad_cols(N*L, K) = grad2d @ W_packedᵀ`` via the output-tiled
+      ``execute``;
+    - the channels-last col2im scatter folding ``grad_cols`` into dX.
+
+    All backward temporaries (the flattened upstream gradient, packed
+    weights, dW product, col2im scratch) live in the *training* arena
+    (:func:`current_train_arena`) — everything accumulated into ``.grad``
+    is either copied or added by ``Tensor._accumulate`` before the arena
+    recycles, and the tape walk is serial, so tags can be reused across
+    layers.  Only ``cols`` and the forward GEMM output, which outlive the
+    op, are fresh allocations.
+    """
+    from .engine.gemm import engine as _engine
+
+    arena = current_train_arena()
+    n, c_in, h, w = x.shape
+    c_out, _, kh, kw = weight.shape
+    length = out_h * out_w
+    k_flat = c_in * kh * kw
+    dtype = x.data.dtype
+
+    if kh == 1 and kw == 1 and padding == (0, 0):
+        xs = x.data if stride == (1, 1) else x.data[:, :, :: stride[0], :: stride[1]]
+        # A contiguous channels-last input makes this reshape a view of
+        # x.data; activations are never mutated in place between forward and
+        # backward, so capturing the view is as safe as the reference path's.
+        cols = xs.transpose(0, 2, 3, 1).reshape(n * length, c_in)
+    else:
+        cols = np.empty((n * length, k_flat), dtype=dtype)
+        _im2col_gemm(x.data, (kh, kw), stride, padding, arena, out=cols)
+
+    # (C_out, C, kh, kw) -> (kh, kw, C, C_out): the unfold's patch-major order.
+    wt = weight.data.transpose(2, 3, 1, 0)
+    if wt.flags.c_contiguous:
+        w_mat = wt.reshape(k_flat, c_out)
+    else:
+        w_mat = arena.get("wmat", (k_flat, c_out), dtype)
+        np.copyto(w_mat.reshape(kh, kw, c_in, c_out), wt)
+    bias_data = None if bias is None else bias.data
+    out2d = _engine().execute(cols, w_mat, bias=bias_data)
+    arena.release("wmat")
+    # Materialize contiguous NCHW: training-mode consumers (BatchNorm batch
+    # statistics, ReLU masks, residual adds) reduce over this output many
+    # times, and feeding them the NHWC-storage transpose view makes every
+    # one of those reductions strided — measurably slower than this single
+    # well-vectorized copy.  (The no-grad inference path keeps the view: its
+    # consumers are channels-last aware.)
+    out = np.ascontiguousarray(out2d.reshape(n, out_h, out_w, c_out).transpose(0, 3, 1, 2))
+
+    x_shape = x.shape
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(grad: np.ndarray) -> None:
+        eng = _engine()
+        bwd_arena = current_train_arena()
+        grad2d = bwd_arena.get("grad2d", (n * length, c_out), grad.dtype)
+        np.copyto(grad2d.reshape(n, out_h, out_w, c_out), grad.transpose(0, 2, 3, 1))
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad2d.sum(axis=0))
+        if weight.requires_grad:
+            dw = eng.execute_tn(cols, grad2d, out=bwd_arena.get("dw", (k_flat, c_out), dtype))
+            weight._accumulate(dw.reshape(kh, kw, c_in, c_out).transpose(3, 2, 0, 1))
+            bwd_arena.release("dw")
+        if x.requires_grad:
+            # Repack from weight.data at backward time: reference semantics
+            # (pruning masks and SAM perturbations mutate weights in place).
+            w_bwd = bwd_arena.get("wmat_bwd", (c_out, k_flat), dtype)
+            np.copyto(w_bwd.reshape(c_out, kh, kw, c_in), weight.data.transpose(0, 2, 3, 1))
+            grad_cols = eng.execute(
+                grad2d, w_bwd, out=bwd_arena.get("grad_cols", (n * length, k_flat), dtype)
+            )
+            x._accumulate(
+                _col2im_gemm(grad_cols, x_shape, (kh, kw), stride, padding, bwd_arena)
+            )
+            bwd_arena.release("grad_cols")
+            bwd_arena.release("wmat_bwd")
+            bwd_arena.release("bwd_pad")
+        bwd_arena.release("grad2d")
+
+    return Tensor._make(out, parents, backward)
+
+
 def conv2d(
     x: Tensor,
     weight: Tensor,
@@ -512,6 +701,13 @@ def conv2d(
             activation,
         )
         return Tensor(out)
+
+    if needs_grad and groups == 1 and fast_path_enabled():
+        # Training fast path: engine-dispatched forward and backward GEMMs
+        # with column reuse.  Grouped convs stay on the einsum reference
+        # path (same split as _conv2d_infer); REPRO_DISABLE_FAST_PATH=1
+        # forces the reference kernels below.
+        return _conv2d_train(x, weight, bias, stride, padding, out_h, out_w)
 
     cols, padded = im2col(x.data, (kh, kw), stride, padding, return_padded=True)
     length = out_h * out_w
@@ -623,19 +819,95 @@ def conv_transpose2d(
     if bias is not None:
         out = out + bias.data.reshape(1, c_out, 1, 1)
 
+    k_flat = c_out * kh * kw
+    use_fast = fast_path_enabled()
+
     def backward(grad: np.ndarray) -> None:
         if bias is not None and bias.requires_grad:
             bias._accumulate(grad.sum(axis=(0, 2, 3)))
         grad_cols = im2col(grad, (kh, kw), stride, padding)  # (N, C_out*kh*kw, L)
+        if not use_fast:
+            if weight.requires_grad:
+                grad_w = np.matmul(x_flat, grad_cols.transpose(0, 2, 1)).sum(axis=0)
+                weight._accumulate(grad_w.reshape(weight.shape))
+            if x.requires_grad:
+                grad_x = np.matmul(w_mat[None], grad_cols)  # (N, C_in, L)
+                x._accumulate(grad_x.reshape(n, c_in, h, w))
+            return
+        # Engine path: both backward products collapse the batch into one
+        # GEMM over (N*L) rows — dW through the reduction-split dispatch,
+        # dX through the output-tiled one.
+        from .engine.gemm import engine as _engine
+
+        eng = _engine()
+        arena = current_train_arena()
+        cols_rows = arena.get("grad2d", (n * length, k_flat), grad_cols.dtype)
+        np.copyto(
+            cols_rows.reshape(n, length, k_flat), grad_cols.transpose(0, 2, 1)
+        )
         if weight.requires_grad:
-            grad_w = np.matmul(x_flat, grad_cols.transpose(0, 2, 1)).sum(axis=0)
-            weight._accumulate(grad_w.reshape(weight.shape))
+            x_rows = arena.get("x_rows", (n * length, c_in), x_flat.dtype)
+            np.copyto(x_rows.reshape(n, length, c_in), x_flat.transpose(0, 2, 1))
+            # dW(C_in, K) = sum_{n,l} x[n,:,l] ⊗ grad_cols[n,:,l]
+            dw = eng.execute_tn(
+                x_rows, cols_rows, out=arena.get("dw", (c_in, k_flat), x_flat.dtype)
+            )
+            weight._accumulate(dw.reshape(weight.shape))
+            arena.release("dw")
+            arena.release("x_rows")
         if x.requires_grad:
-            grad_x = np.matmul(w_mat[None], grad_cols)  # (N, C_in, L)
-            x._accumulate(grad_x.reshape(n, c_in, h, w))
+            grad_x = eng.execute(
+                cols_rows,
+                w_mat.T,  # (K, C_in)
+                out=arena.get("grad_cols", (n * length, c_in), grad_cols.dtype),
+            )
+            x._accumulate(
+                grad_x.reshape(n, length, c_in).transpose(0, 2, 1).reshape(n, c_in, h, w)
+            )
+            arena.release("grad_cols")
+        arena.release("grad2d")
 
     parents = (x, weight) if bias is None else (x, weight, bias)
     return Tensor._make(out.astype(x.data.dtype), parents, backward)
+
+
+def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """``x @ weight.T (+ bias)`` with forward/backward matmuls on the engine.
+
+    ``weight`` is ``(out_features, in_features)`` (the torch layout).  The
+    2-D case — every classifier head in the model zoo — runs both the
+    forward product and its backward pair (dW via the reduction-split
+    ``execute_tn``, dX via the output-tiled ``execute``) through the tiled
+    GEMM engine; most heads are small enough that the engine degrades to
+    the same inline BLAS calls the reference composition issues, so the
+    dispatch costs nothing on 1 core.  Non-2-D inputs and
+    ``REPRO_DISABLE_FAST_PATH=1`` fall back to composing
+    :meth:`Tensor.matmul` + add.
+    """
+    if x.data.ndim != 2 or not fast_path_enabled():
+        out = x.matmul(weight.transpose())
+        if bias is not None:
+            out = out + bias
+        return out
+
+    from .engine.gemm import engine as _engine
+
+    out = _engine().execute(
+        x.data, weight.data.T, bias=None if bias is None else bias.data
+    )
+
+    def backward(grad: np.ndarray) -> None:
+        eng = _engine()
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad.sum(axis=0))
+        if weight.requires_grad:
+            # dW(out, in) = grad.T @ x — exactly the reduction-split shape.
+            weight._accumulate(eng.execute_tn(grad, x.data))
+        if x.requires_grad:
+            x._accumulate(eng.execute(grad, weight.data))
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    return Tensor._make(out, parents, backward)
 
 
 def max_pool2d(x: Tensor, kernel: IntPair, stride: Optional[IntPair] = None, padding: IntPair = 0) -> Tensor:

@@ -133,10 +133,14 @@ class Module:
         """Set evaluation mode recursively."""
         return self.train(False)
 
-    def zero_grad(self) -> None:
-        """Clear gradients of every parameter in the tree."""
+    def zero_grad(self, set_to_none: bool = True) -> None:
+        """Clear gradients of every parameter in the tree.
+
+        ``set_to_none=False`` zeroes existing ``.grad`` buffers in place so
+        repeated backwards (e.g. per-round filter scoring) reuse them.
+        """
         for param in self.parameters():
-            param.zero_grad()
+            param.zero_grad(set_to_none=set_to_none)
 
     # ------------------------------------------------------------------
     # State dict

@@ -26,9 +26,9 @@ class Optimizer:
             raise ValueError(f"learning rate must be positive, got {lr}")
         self.lr = lr
 
-    def zero_grad(self) -> None:
+    def zero_grad(self, set_to_none: bool = True) -> None:
         for param in self.params:
-            param.zero_grad()
+            param.zero_grad(set_to_none=set_to_none)
 
     def step(self) -> None:
         raise NotImplementedError

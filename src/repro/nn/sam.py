@@ -78,7 +78,7 @@ class SAM:
             param.data += step
         if zero_grad:
             for param in self.params:
-                param.zero_grad()
+                param.zero_grad(set_to_none=False)
 
     def second_step(self, zero_grad: bool = True) -> None:
         """Restore original weights and apply the base optimizer update."""
@@ -90,7 +90,7 @@ class SAM:
         self.base_optimizer.step()
         if zero_grad:
             for param in self.params:
-                param.zero_grad()
+                param.zero_grad(set_to_none=False)
 
     def step(self, closure: Callable[[], None]) -> None:
         """Full SAM step given a closure that re-runs forward+backward."""

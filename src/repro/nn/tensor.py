@@ -173,13 +173,27 @@ class Tensor:
     # ------------------------------------------------------------------
     def _accumulate(self, grad: np.ndarray) -> None:
         if self.grad is None:
-            self.grad = grad.astype(self.data.dtype, copy=True)
+            # order="C", not the astype default "K": incoming grads may be
+            # transpose views (e.g. the engine conv backward's channels-last
+            # col2im slab), and "K" would preserve that strided layout,
+            # making every later read of .grad strided too.
+            self.grad = grad.astype(self.data.dtype, order="C", copy=True)
         else:
             self.grad += grad
 
-    def zero_grad(self) -> None:
-        """Clear the accumulated gradient."""
-        self.grad = None
+    def zero_grad(self, set_to_none: bool = True) -> None:
+        """Clear the accumulated gradient.
+
+        ``set_to_none=False`` zeroes the existing ``.grad`` buffer in place
+        instead of dropping it, so the next backward accumulates into the
+        same (hot) memory rather than paying a fresh page-faulting
+        allocation — the repeated-backward loops (per-round filter scoring,
+        SAM's two backwards per step) use this.
+        """
+        if set_to_none or self.grad is None:
+            self.grad = None
+        else:
+            self.grad.fill(0.0)
 
     def backward(self, grad: Optional[np.ndarray] = None) -> None:
         """Run reverse-mode autodiff from this tensor.

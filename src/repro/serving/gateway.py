@@ -281,11 +281,11 @@ class ServingGateway:
         Calibration is per-checkpoint: the same clean pool yields different
         entropy distributions under different weights, so the threshold is
         recomputed on every swap (off-path, like the rest of preparation).
+        Uses the same shared-overlay form as serving so the calibrated
+        threshold matches the on-path entropy distribution.
         """
         pool = self.clean_pool.images
-        overlay_idx = self._rng.integers(
-            0, len(pool), size=(self.config.strip_overlays, len(pool))
-        )
+        overlay_idx = self._rng.integers(0, len(pool), size=self.config.strip_overlays)
         with self._model_lock:
             scores = strip_entropy_scores(
                 compiled, pool, pool, overlay_idx, self.config.strip_alpha
@@ -304,9 +304,11 @@ class ServingGateway:
             entropies: Optional[np.ndarray] = None
             if entry.strip_threshold is not None:
                 pool = self.clean_pool.images
-                overlay_idx = self._rng.integers(
-                    0, len(pool), size=(self.config.strip_overlays, len(batch))
-                )
+                # One shared overlay set per micro-batch: a single
+                # (overlays, C, H, W) gather instead of an (overlays, batch)
+                # index table, so the blend broadcasts instead of fancy-
+                # indexing overlays * batch pool rows.
+                overlay_idx = self._rng.integers(0, len(pool), size=self.config.strip_overlays)
                 entropies = strip_entropy_scores(
                     entry.compiled, batch, pool, overlay_idx, self.config.strip_alpha
                 )

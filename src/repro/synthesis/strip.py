@@ -74,20 +74,36 @@ def strip_entropy_scores(
     pool:
         ``(P, C, H, W)`` clean images blended into the suspects.
     overlay_idx:
-        ``(num_overlays, n)`` pool row blended into each copy.
+        Either ``(num_overlays, n)`` — an independent pool row per
+        (overlay, input) pair — or ``(num_overlays,)`` — one *shared*
+        overlay set blended into every input.  The shared form is what the
+        serving gateway uses: one gather of ``num_overlays`` pool images
+        per micro-batch instead of ``num_overlays * n`` row lookups, and
+        the per-input randomness STRIP needs comes from batching (each
+        request lands in a differently-seeded micro-batch).
     blend_alpha:
         Overlay opacity: ``(1 - alpha) * suspect + alpha * clean``.
     """
     images = np.asarray(images, dtype=np.float32)
-    num_overlays, n = overlay_idx.shape
-    if n != len(images):
-        raise ValueError(f"overlay_idx covers {n} inputs, got {len(images)} images")
+    n = len(images)
+    shared = overlay_idx.ndim == 1
+    if shared:
+        num_overlays = overlay_idx.shape[0]
+        # Gather the shared overlay stack once for the whole call.
+        shared_overlays = blend_alpha * pool[overlay_idx][:, None]
+    else:
+        num_overlays, covered = overlay_idx.shape
+        if covered != n:
+            raise ValueError(f"overlay_idx covers {covered} inputs, got {n} images")
     scores = np.zeros(n)
     chunk = max(1, batch_size // max(1, num_overlays))
     for start in range(0, n, chunk):
         stop = min(start + chunk, n)
         blended = (1.0 - blend_alpha) * images[None, start:stop]
-        blended = blended + blend_alpha * pool[overlay_idx[:, start:stop]]
+        if shared:
+            blended = blended + shared_overlays
+        else:
+            blended = blended + blend_alpha * pool[overlay_idx[:, start:stop]]
         np.clip(blended, 0.0, 1.0, out=blended)
         flat = blended.reshape(-1, *images.shape[1:]).astype(np.float32, copy=False)
         entropy = prediction_entropy(model, flat, batch_size=batch_size)

@@ -7,6 +7,7 @@ training loop instead of per-caller copies.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
@@ -14,8 +15,10 @@ import numpy as np
 
 from .data.dataset import DataLoader, ImageDataset
 from .nn import SGD, Tensor, cross_entropy, no_grad
+from .nn.engine.training import training_step
 from .nn.module import Module
 from .nn.optim import Optimizer
+from .telemetry import bus
 
 __all__ = ["TrainConfig", "TrainResult", "train_classifier", "evaluate_accuracy", "predict"]
 
@@ -87,14 +90,21 @@ def train_classifier(
             optimizer.lr *= config.lr_decay_factor
         epoch_loss = 0.0
         batches = 0
+        samples = 0
+        epoch_started = time.perf_counter()
         for images, labels in loader:
-            logits = model(Tensor(images))
-            loss = cross_entropy(logits, labels)
-            optimizer.zero_grad()
-            loss.backward()
+            with training_step((images.shape, images.dtype.str)):
+                logits = model(Tensor(images))
+                loss = cross_entropy(logits, labels)
+                optimizer.zero_grad(set_to_none=False)
+                loss.backward()
             optimizer.step()
             epoch_loss += loss.item()
             batches += 1
+            samples += len(labels)
+        elapsed = time.perf_counter() - epoch_started
+        if elapsed > 0 and samples:
+            bus().metrics.gauge("training.samples_per_sec").set(samples / elapsed)
         mean_loss = epoch_loss / max(batches, 1)
         result.losses.append(mean_loss)
         if config.verbose:

@@ -58,7 +58,11 @@ class TestScoresFromGrads:
     def test_zero_grad_after_compute(self, backdoored_tiny_model, tiny_test, tiny_attack):
         model = copy.deepcopy(backdoored_tiny_model)
         compute_filter_scores(model, tiny_attack.triggered_with_true_labels(tiny_test))
-        assert all(p.grad is None for p in model.parameters())
+        # Buffers are zeroed in place (not dropped) so the next scoring round
+        # accumulates into the same memory; either way no gradient survives.
+        assert all(
+            p.grad is None or not p.grad.any() for p in model.parameters()
+        )
 
 
 class TestTopFilter:

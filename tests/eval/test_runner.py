@@ -28,6 +28,11 @@ def tiny_config(**overrides):
         n_reservoir=160,
         num_classes=4,
         train_epochs=3,
+        # 3-epoch/200-sample runs are trajectory-chaotic: at the default 10%
+        # poison ratio the embedded ASR swings with benign float reordering.
+        # 25% keeps the backdoor comfortably above the 0.5 assertion on both
+        # the engine-dispatched and reference training paths.
+        poison_ratio=0.25,
         seed=0,
     )
     defaults.update(overrides)

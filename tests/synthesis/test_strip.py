@@ -171,3 +171,23 @@ class TestVectorizedScoring:
                 np.zeros((3, 5), dtype=int),
                 0.5,
             )
+
+    def test_shared_overlays_match_tiled_index_table(
+        self, backdoored_tiny_model, tiny_reservoir, tiny_test
+    ):
+        # A 1-D overlay_idx (one shared overlay set, the serving-gateway
+        # form) must equal the 2-D form with that set tiled to every input.
+        from repro.synthesis import strip_entropy_scores
+
+        images = tiny_test.images[:7]
+        pool = tiny_reservoir.images
+        shared_idx = np.random.default_rng(9).integers(0, len(pool), size=5)
+        tiled_idx = np.repeat(shared_idx[:, None], len(images), axis=1)
+
+        shared = strip_entropy_scores(
+            backdoored_tiny_model, images, pool, shared_idx, 0.5, batch_size=16
+        )
+        tiled = strip_entropy_scores(
+            backdoored_tiny_model, images, pool, tiled_idx, 0.5, batch_size=16
+        )
+        np.testing.assert_allclose(shared, tiled, rtol=1e-5, atol=1e-6)
