@@ -1,0 +1,104 @@
+"""Federated scheduler microbenchmark: serial vs ``--workers 4`` rounds.
+
+Runs one 64-client Dirichlet tableF cell twice from cold run dirs — once
+inline (``workers=0``) and once through the worker pool — checks the final
+global models are bitwise identical, and records both wall-clock times in
+``benchmarks/out/BENCH_federated.json``.
+
+Read the speedup together with ``cpu_count`` in the JSON: per-round client
+tasks parallelize, but each aggregation is a barrier, so the scale-out is
+bounded by the round structure (and on a single-core box the pool can only
+tie at best).
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+from conftest import OUT_DIR
+
+from repro.federated import FederatedOrchestrator, build_federated_dag, federated_spec
+from repro.federated.scheduler import state_key
+from repro.orchestrator.artifacts import ArtifactStore
+from repro.orchestrator.orchestrator import OrchestratorConfig
+from repro.utils import Timer
+from repro.utils.timing import hard_timeout
+
+pytestmark = pytest.mark.bench
+
+WORKERS = 4
+GUARD_SECONDS = 1800.0
+
+
+@pytest.fixture(autouse=True)
+def _bench_guard():
+    """Wall-clock ceiling: a wedged worker pool fails loudly, not as a hang."""
+    with hard_timeout(GUARD_SECONDS, "federated microbench wedged"):
+        yield
+
+
+def _cell_spec():
+    return federated_spec(
+        "quick",
+        client_counts=(64,),
+        malicious_fractions=(0.125,),
+        rounds=2,
+        partition="dirichlet",
+        n_train=640,
+        n_test=150,
+        n_reservoir=300,
+        num_classes=3,
+        defenses=("fed_unlearn",),
+        spc=10,
+    )
+
+
+def test_federated_serial_vs_workers(tmp_path):
+    spec = _cell_spec()
+    fp = spec.scenarios()[0].fingerprint()
+
+    serial = FederatedOrchestrator(
+        OrchestratorConfig(workers=0, run_dir=str(tmp_path / "serial"), verbose=False)
+    )
+    with Timer() as serial_timer:
+        serial_result = serial.run(spec)
+    serial_s = serial_timer.elapsed
+
+    pooled = FederatedOrchestrator(
+        OrchestratorConfig(
+            workers=WORKERS, run_dir=str(tmp_path / "pooled"), verbose=False
+        )
+    )
+    with Timer() as pooled_timer:
+        pooled_result = pooled.run(spec)
+    pooled_s = pooled_timer.elapsed
+
+    assert serial_result.ok and pooled_result.ok
+    serial_state = ArtifactStore(
+        os.path.join(serial_result.run_dir, "artifacts")
+    ).get_state(state_key(fp, 1))
+    pooled_state = ArtifactStore(
+        os.path.join(pooled_result.run_dir, "artifacts")
+    ).get_state(state_key(fp, 1))
+    assert serial_state is not None and pooled_state is not None
+    assert all(np.array_equal(serial_state[k], pooled_state[k]) for k in serial_state)
+
+    (cell,) = serial_result.cells
+    payload = {
+        "experiment": spec.experiment_id,
+        "clients": 64,
+        "rounds": 2,
+        "tasks": len(build_federated_dag(spec)),
+        "workers": WORKERS,
+        "cpu_count": os.cpu_count(),
+        "serial_s": round(serial_s, 3),
+        "workers_s": round(pooled_s, 3),
+        "speedup": round(serial_s / pooled_s, 3),
+        "final_asr": cell.arms["none"].asr,
+        "fed_unlearn_asr": cell.arms["fed_unlearn"].asr,
+    }
+    os.makedirs(OUT_DIR, exist_ok=True)
+    with open(os.path.join(OUT_DIR, "BENCH_federated.json"), "w") as handle:
+        json.dump(payload, handle, indent=2)
+    assert payload["speedup"] > 0

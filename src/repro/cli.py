@@ -25,6 +25,7 @@ from .attacks import ATTACK_REGISTRY
 from .defenses import DEFENSE_REGISTRY
 from .eval import (
     EXPERIMENT_IDS,
+    FEDERATED_EXPERIMENT_IDS,
     BenchmarkRunner,
     ScenarioConfig,
     experiment_spec,
@@ -52,7 +53,13 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--seed", type=int, default=0)
 
     experiment = sub.add_parser("experiment", help="regenerate a paper table/figure")
-    experiment.add_argument("experiment_id", choices=[e for e in EXPERIMENT_IDS if e.startswith(("table", "figure"))])
+    experiment.add_argument(
+        "experiment_id",
+        choices=[
+            e for e in EXPERIMENT_IDS
+            if e.startswith(("table", "figure")) and e not in FEDERATED_EXPERIMENT_IDS
+        ],
+    )
     experiment.add_argument("--profile", choices=("quick", "paper"), default=None)
     experiment.add_argument("--attacks", nargs="+", default=None)
     experiment.add_argument("--models", nargs="+", default=None)
@@ -89,6 +96,35 @@ def build_parser() -> argparse.ArgumentParser:
     orchestrate.add_argument(
         "--run-dir", default=None,
         help="ledger directory (default: derived from the grid under the cache dir)",
+    )
+    federated = orchestrate.add_argument_group(
+        "federated (tableF only)",
+        "grid overrides for the sharded federated scheduler",
+    )
+    federated.add_argument(
+        "--clients", type=int, nargs="+", default=None,
+        help="client-count axis of the grid (e.g. --clients 64 256)",
+    )
+    federated.add_argument(
+        "--fractions", type=float, nargs="+", default=None,
+        help="malicious-fraction axis of the grid (e.g. --fractions 0.125 0.25)",
+    )
+    federated.add_argument("--rounds", type=int, default=None, help="federated rounds per cell")
+    federated.add_argument(
+        "--partition", choices=("iid", "dirichlet"), default=None,
+        help="client data partition (default: dirichlet)",
+    )
+    federated.add_argument(
+        "--alpha", type=float, default=None,
+        help="Dirichlet concentration for non-IID sharding",
+    )
+    federated.add_argument(
+        "--poison-ratio", type=float, default=None,
+        help="malicious clients' per-round local poison fraction",
+    )
+    federated.add_argument(
+        "--defenses", nargs="+", default=None, choices=sorted(DEFENSE_REGISTRY),
+        help="server-side defense arms to run on the final global model",
     )
 
     attack = sub.add_parser("attack", help="train one backdoored model and report baseline metrics")
@@ -238,17 +274,18 @@ def _cmd_experiment(args) -> int:
 def _cmd_orchestrate(args) -> int:
     import os
 
-    spec = experiment_spec(args.experiment_id, profile=args.profile)
     workers = args.workers if args.workers is not None else (os.cpu_count() or 1)
-    orchestrator = Orchestrator(
-        OrchestratorConfig(
-            workers=workers,
-            task_timeout=args.task_timeout,
-            max_retries=args.max_retries,
-            run_dir=args.run_dir,
-            resume=args.resume,
-        )
+    config = OrchestratorConfig(
+        workers=workers,
+        task_timeout=args.task_timeout,
+        max_retries=args.max_retries,
+        run_dir=args.run_dir,
+        resume=args.resume,
     )
+    if args.experiment_id in FEDERATED_EXPERIMENT_IDS:
+        return _orchestrate_federated(args, config)
+    spec = experiment_spec(args.experiment_id, profile=args.profile)
+    orchestrator = Orchestrator(config)
     result = orchestrator.run(
         spec,
         attacks=tuple(args.attacks) if args.attacks else None,
@@ -258,6 +295,32 @@ def _cmd_orchestrate(args) -> int:
     table = result.table_text()
     if table:
         print(table)
+    print(result.summary())
+    return 0 if result.ok else 1
+
+
+def _orchestrate_federated(args, config) -> int:
+    from .federated import FederatedOrchestrator, federated_spec
+
+    overrides = {}
+    if args.clients:
+        overrides["client_counts"] = tuple(args.clients)
+    if args.fractions:
+        overrides["malicious_fractions"] = tuple(args.fractions)
+    if args.rounds is not None:
+        overrides["rounds"] = args.rounds
+    if args.partition is not None:
+        overrides["partition"] = args.partition
+    if args.alpha is not None:
+        overrides["alpha"] = args.alpha
+    if args.poison_ratio is not None:
+        overrides["poison_ratio"] = args.poison_ratio
+    if args.defenses:
+        overrides["defenses"] = tuple(args.defenses)
+    overrides["seed"] = args.seed
+    spec = federated_spec(args.profile, **overrides)
+    result = FederatedOrchestrator(config).run(spec)
+    print(result.table_text())
     print(result.summary())
     return 0 if result.ok else 1
 

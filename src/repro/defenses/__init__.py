@@ -9,6 +9,7 @@ from typing import Callable, Dict
 from .anp import ANPDefense, MaskedConv2d
 from .base import Defense, DefenderData, DefenseReport
 from .bnp import BNPDefense, bn_statistic_divergence
+from .fed_unlearn import FederatedUnlearningDefense
 from .clp import CLPDefense, channel_lipschitz_bounds
 from .fine_pruning import FinePruningDefense, mean_channel_activations
 from .finetune import FineTuningDefense
@@ -37,6 +38,7 @@ DEFENSE_REGISTRY: Dict[str, Callable[..., Defense]] = {
     "ft_sam": FTSAMDefense,
     "anp": ANPDefense,
     "grad_prune": _grad_prune_factory,
+    "fed_unlearn": FederatedUnlearningDefense,
 }
 
 
@@ -63,6 +65,7 @@ __all__ = [
     "BNPDefense",
     "FTSAMDefense",
     "ANPDefense",
+    "FederatedUnlearningDefense",
     "MaskedConv2d",
     "DEFENSE_REGISTRY",
     "build_defense",

@@ -1,0 +1,139 @@
+"""Clean-loss + backdoor-penalty unlearning (federated server-side repair).
+
+Ported from momalab's federated backdoor unlearning (SNIPPETS.md snippet 1)
+onto the :class:`Defense` protocol: continue training the aggregated global
+model on the defender's clean data while *penalizing* low loss on
+synthesized backdoor inputs, i.e. minimize
+
+    L = CE(clean) - penalty * CE(triggered -> target)
+
+so gradient descent simultaneously preserves clean accuracy and pushes
+triggered inputs away from the attacker's target class.  The learning rate
+follows the snippet's schedule ``base_lr / 2**(unlearn_count / 10)`` — each
+time the server re-runs the defense at a later round it anneals the step
+size so repeated unlearning does not erode the converging global model.
+
+Gradient *ascent* on the backdoor loss is unbounded, so the penalty term is
+dropped for any batch whose backdoor cross-entropy already exceeds
+``loss_ceiling`` — at that point the triggered inputs are far from the
+target class and only the clean objective remains.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.dataset import DataLoader
+from ..nn import SGD, Tensor, cross_entropy
+from ..nn.module import Module
+from .base import Defense, DefenderData, DefenseReport
+
+__all__ = ["FederatedUnlearningDefense"]
+
+
+class FederatedUnlearningDefense(Defense):
+    """Server-side clean-loss + backdoor-penalty unlearning.
+
+    Parameters
+    ----------
+    lr:
+        Base learning rate, annealed as ``lr / 2**(unlearn_count / 10)``.
+    epochs:
+        Unlearning epochs (snippet default 6).
+    penalty:
+        Weight of the negative backdoor-loss term.
+    loss_ceiling:
+        Backdoor cross-entropy above which the penalty term is dropped for
+        a batch (keeps the ascent direction bounded).
+    unlearn_count:
+        How many times unlearning has already been applied to this model
+        lineage; drives the learning-rate annealing.
+    """
+
+    name = "fed_unlearn"
+
+    def __init__(
+        self,
+        lr: float = 0.01,
+        epochs: int = 6,
+        penalty: float = 0.5,
+        loss_ceiling: float = 8.0,
+        batch_size: int = 32,
+        unlearn_count: int = 0,
+        seed: int = 0,
+    ) -> None:
+        if lr <= 0:
+            raise ValueError(f"lr must be positive, got {lr}")
+        if epochs < 1:
+            raise ValueError(f"epochs must be >= 1, got {epochs}")
+        if penalty < 0:
+            raise ValueError(f"penalty must be >= 0, got {penalty}")
+        if unlearn_count < 0:
+            raise ValueError(f"unlearn_count must be >= 0, got {unlearn_count}")
+        self.lr = lr
+        self.epochs = epochs
+        self.penalty = penalty
+        self.loss_ceiling = loss_ceiling
+        self.batch_size = batch_size
+        self.unlearn_count = unlearn_count
+        self.seed = seed
+
+    def effective_lr(self) -> float:
+        """Annealed learning rate for the current unlearn count."""
+        return self.lr / (2.0 ** (self.unlearn_count / 10.0))
+
+    def apply(self, model: Module, data: DefenderData) -> DefenseReport:
+        """Unlearn the backdoor from ``model`` in place."""
+        if data.attack is None:
+            raise ValueError("fed_unlearn needs the attack handle to synthesize backdoor data")
+        # Triggered copies of the clean data labeled with the attacker's
+        # target: high cross-entropy here means the backdoor is gone.
+        backdoor_set = data.attack.poisoned_copy(data.clean_train)
+        lr = self.effective_lr()
+        optimizer = SGD(model.parameters(), lr=lr, momentum=0.9)
+        rng = np.random.default_rng(self.seed)
+        clean_loader = DataLoader(
+            data.clean_train, batch_size=self.batch_size, shuffle=True, rng=rng
+        )
+        backdoor_loader = DataLoader(
+            backdoor_set, batch_size=self.batch_size, shuffle=True, rng=rng
+        )
+        clean_mean = float("nan")
+        backdoor_mean = float("nan")
+        penalized_batches = 0
+        model.train()
+        for _epoch in range(self.epochs):
+            clean_total = 0.0
+            backdoor_total = 0.0
+            batches = 0
+            for (images, labels), (bd_images, bd_labels) in zip(clean_loader, backdoor_loader):
+                clean_loss = cross_entropy(model(Tensor(images)), labels)
+                backdoor_loss = cross_entropy(model(Tensor(bd_images)), bd_labels)
+                apply_penalty = (
+                    self.penalty > 0 and backdoor_loss.item() < self.loss_ceiling
+                )
+                if apply_penalty:
+                    loss = clean_loss + (-self.penalty) * backdoor_loss
+                    penalized_batches += 1
+                else:
+                    loss = clean_loss
+                optimizer.zero_grad(set_to_none=False)
+                loss.backward()
+                optimizer.step()
+                clean_total += clean_loss.item()
+                backdoor_total += backdoor_loss.item()
+                batches += 1
+            clean_mean = clean_total / max(batches, 1)
+            backdoor_mean = backdoor_total / max(batches, 1)
+        model.eval()
+        return DefenseReport(
+            name=self.name,
+            details={
+                "epochs_run": self.epochs,
+                "lr": lr,
+                "unlearn_count": self.unlearn_count,
+                "clean_loss": clean_mean,
+                "backdoor_loss": backdoor_mean,
+                "penalized_batches": penalized_batches,
+            },
+        )

@@ -4,6 +4,7 @@ from .budget import DefenderBudget, budget_trials
 from .claims import Claim, ClaimVerdict, TABLE_CLAIMS, check_table_claims, format_verdicts
 from .experiments import (
     EXPERIMENT_IDS,
+    FEDERATED_EXPERIMENT_IDS,
     ExperimentProfile,
     ExperimentResult,
     ExperimentSpec,
@@ -64,6 +65,7 @@ __all__ = [
     "rank_defenses",
     "win_tie_loss",
     "EXPERIMENT_IDS",
+    "FEDERATED_EXPERIMENT_IDS",
     "ExperimentProfile",
     "ExperimentResult",
     "ExperimentSpec",

@@ -37,6 +37,7 @@ __all__ = [
     "scenario_configs",
     "run_experiment",
     "EXPERIMENT_IDS",
+    "FEDERATED_EXPERIMENT_IDS",
 ]
 
 ALL_ATTACKS = ("badnets", "blended", "bpp", "lf")
@@ -45,9 +46,13 @@ FIG2_DEFENSES = ("ft_sam", "anp", "grad_prune")
 FIG2_MODELS = ("preact_resnet18", "vgg19_bn", "efficientnet_b3", "mobilenet_v3_large")
 
 EXPERIMENT_IDS = (
-    "table1", "table2", "figure1", "figure2",
+    "table1", "table2", "figure1", "figure2", "tableF",
     "ablation_scoring", "ablation_finetune", "ablation_stopping",
 )
+
+# Experiments that run on the federated scheduler (orchestrator-only; the
+# serial run_experiment path has no notion of rounds or client shards).
+FEDERATED_EXPERIMENT_IDS = ("tableF",)
 
 
 @dataclass(frozen=True)
@@ -203,6 +208,11 @@ def experiment_spec(experiment_id: str, profile: Optional[str] = None) -> Experi
         return ExperimentSpec(
             "figure2", "Figure 2: SynthGTSRB scatter, 4 architectures",
             "synth_gtsrb", FIG2_MODELS, ALL_ATTACKS, FIG2_DEFENSES, prof,
+        )
+    if experiment_id in FEDERATED_EXPERIMENT_IDS:
+        raise KeyError(
+            f"{experiment_id!r} is a federated grid with no serial path; run it "
+            "via 'repro orchestrate tableF' (repro.federated.federated_spec)"
         )
     raise KeyError(f"unknown experiment {experiment_id!r}; choose from {EXPERIMENT_IDS}")
 

@@ -7,13 +7,22 @@ any defense in :mod:`repro.defenses` / :mod:`repro.core`.
 """
 
 from .client import FederatedClient, MaliciousClient
+from .scheduler import (
+    FederatedOrchestrator,
+    FederatedScenario,
+    FederatedSpec,
+    build_federated_dag,
+    federated_spec,
+)
 from .server import FederatedServer, fedavg, krum, trimmed_mean
 from .simulation import (
     FederatedRunLog,
     run_federated_backdoor,
+    split_dataset,
     split_dataset_dirichlet,
     split_dataset_iid,
 )
+from .threat import ThreatModel, build_clients
 
 __all__ = [
     "FederatedClient",
@@ -22,8 +31,16 @@ __all__ = [
     "fedavg",
     "trimmed_mean",
     "krum",
+    "split_dataset",
     "split_dataset_iid",
     "split_dataset_dirichlet",
     "FederatedRunLog",
     "run_federated_backdoor",
+    "ThreatModel",
+    "build_clients",
+    "FederatedScenario",
+    "FederatedSpec",
+    "federated_spec",
+    "build_federated_dag",
+    "FederatedOrchestrator",
 ]

@@ -59,20 +59,34 @@ class FederatedClient:
     def num_samples(self) -> int:
         return len(self.dataset)
 
-    def _training_data(self) -> ImageDataset:
+    def _training_data(self, round_index: Optional[int] = None) -> ImageDataset:
         return self.dataset
 
-    def local_update(self, model_template: Module, global_state: StateDict) -> StateDict:
-        """Train a local copy from the global weights; return new weights."""
+    def local_update(
+        self,
+        model_template: Module,
+        global_state: StateDict,
+        round_index: Optional[int] = None,
+    ) -> StateDict:
+        """Train a local copy from the global weights; return new weights.
+
+        ``round_index`` (when given) keys all per-round randomness, so the
+        update is a pure function of ``(client, round, global_state)`` — the
+        property the sharded scheduler relies on to re-execute a client task
+        on any worker (or on resume) and obtain bitwise-identical weights.
+        """
         local = copy.deepcopy(model_template)
         local.load_state_dict(global_state)
         config = TrainConfig(
             epochs=self.epochs,
             batch_size=self.batch_size,
             lr=self.lr,
-            shuffle_seed=self.client_id,
+            shuffle_seed=(
+                self.client_id if round_index is None
+                else self.client_id + 100_003 * (round_index + 1)
+            ),
         )
-        train_classifier(local, self._training_data(), config)
+        train_classifier(local, self._training_data(round_index), config)
         return local.state_dict()
 
 
@@ -109,16 +123,34 @@ class MaliciousClient(FederatedClient):
         self.attack = attack
         self.poison_ratio = poison_ratio
         self.boost = boost
+        self.seed = seed
         self._rng = np.random.default_rng(seed)
 
-    def _training_data(self) -> ImageDataset:
-        poisoned, _info = poison_dataset(
-            self.dataset, self.attack, self.poison_ratio, self._rng
+    def _training_data(self, round_index: Optional[int] = None) -> ImageDataset:
+        # With a round index the poison draw is a pure function of
+        # (seed, client, round); without one the stateful RNG preserves the
+        # legacy sequential behaviour.
+        rng = (
+            self._rng
+            if round_index is None
+            else np.random.default_rng([self.seed, self.client_id, round_index])
         )
+        # Non-IID shards can be tiny or pure-target-class; a compromised
+        # client still always poisons at least one relabelable sample if it
+        # holds any (and trains plainly otherwise).
+        if (self.dataset.labels != self.attack.target_class).sum() == 0:
+            return self.dataset
+        ratio = min(max(self.poison_ratio, 0.51 / len(self.dataset)), 0.999)
+        poisoned, _info = poison_dataset(self.dataset, self.attack, ratio, rng)
         return poisoned
 
-    def local_update(self, model_template: Module, global_state: StateDict) -> StateDict:
-        update = super().local_update(model_template, global_state)
+    def local_update(
+        self,
+        model_template: Module,
+        global_state: StateDict,
+        round_index: Optional[int] = None,
+    ) -> StateDict:
+        update = super().local_update(model_template, global_state, round_index)
         if self.boost == 1.0:
             return update
         boosted: StateDict = {}

@@ -132,11 +132,18 @@ class FederatedServer:
         indices = self._rng.choice(len(self.clients), size=count, replace=False)
         return [self.clients[i] for i in indices]
 
-    def run_round(self) -> List[int]:
-        """One federated round; returns the participating client ids."""
+    def run_round(self, round_index: Optional[int] = None) -> List[int]:
+        """One federated round; returns the participating client ids.
+
+        ``round_index`` keys per-round client randomness (see
+        :meth:`FederatedClient.local_update`); omitting it keeps the legacy
+        stateful-RNG behaviour.
+        """
         participants = self.sample_clients()
         global_state = self.model.state_dict()
-        updates = [c.local_update(self.model, global_state) for c in participants]
+        updates = [
+            c.local_update(self.model, global_state, round_index) for c in participants
+        ]
         if self.aggregation == "fedavg":
             new_state = fedavg(updates, [c.num_samples for c in participants])
         elif self.aggregation == "trimmed_mean":
@@ -150,4 +157,4 @@ class FederatedServer:
         """Run multiple rounds; returns per-round participant ids."""
         if rounds < 1:
             raise ValueError(f"rounds must be >= 1, got {rounds}")
-        return [self.run_round() for _ in range(rounds)]
+        return [self.run_round(r) for r in range(rounds)]

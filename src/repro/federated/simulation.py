@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -11,10 +11,19 @@ from ..attacks.base import BackdoorAttack
 from ..data.dataset import ImageDataset
 from ..eval.metrics import BackdoorMetrics, evaluate_backdoor_metrics
 from ..nn.module import Module
+from ..telemetry import emit
 from .client import FederatedClient, MaliciousClient
 from .server import FederatedServer
 
-__all__ = ["split_dataset_iid", "split_dataset_dirichlet", "FederatedRunLog", "run_federated_backdoor"]
+__all__ = [
+    "split_dataset_iid",
+    "split_dataset_dirichlet",
+    "split_dataset",
+    "FederatedRunLog",
+    "run_federated_backdoor",
+]
+
+_SOURCE = "federated"
 
 
 def split_dataset_iid(
@@ -40,11 +49,17 @@ def split_dataset_dirichlet(
     """Non-IID partition: per-class Dirichlet(alpha) allocation over clients.
 
     Small ``alpha`` concentrates each class on few clients (the standard
-    federated non-IID benchmark construction).  Clients left empty by the
-    draw receive one random sample so every client stays trainable.
+    federated non-IID benchmark construction).  The result is an exact
+    partition — every sample lands on exactly one client and no client is
+    left empty: clients emptied by the draw are rescued by *moving* one
+    sample from the currently largest client (never by duplicating).
     """
     if alpha <= 0:
         raise ValueError(f"alpha must be positive, got {alpha}")
+    if num_clients < 1:
+        raise ValueError(f"num_clients must be >= 1, got {num_clients}")
+    if num_clients > len(dataset):
+        raise ValueError("more clients than samples")
     rng = rng if rng is not None else np.random.default_rng()
     assignments: List[List[int]] = [[] for _ in range(num_clients)]
     for cls in range(dataset.num_classes):
@@ -55,12 +70,31 @@ def split_dataset_dirichlet(
         counts[-1] = len(members) - counts[:-1].sum()
         start = 0
         for client, count in enumerate(counts):
-            assignments[client].extend(members[start : start + count])
+            assignments[client].extend(int(i) for i in members[start : start + count])
             start += count
     for client in range(num_clients):
-        if not assignments[client]:
-            assignments[client].append(int(rng.integers(0, len(dataset))))
+        while not assignments[client]:
+            donor = max(range(num_clients), key=lambda c: len(assignments[c]))
+            if len(assignments[donor]) <= 1:
+                raise ValueError("cannot rescue empty client without emptying another")
+            donor_pool = assignments[donor]
+            assignments[client].append(donor_pool.pop(int(rng.integers(0, len(donor_pool)))))
     return [dataset.subset(np.array(sorted(idx))) for idx in assignments]
+
+
+def split_dataset(
+    dataset: ImageDataset,
+    num_clients: int,
+    partition: str = "iid",
+    alpha: float = 0.5,
+    rng: Optional[np.random.Generator] = None,
+) -> List[ImageDataset]:
+    """Dispatch to the IID or Dirichlet partitioner by name."""
+    if partition == "iid":
+        return split_dataset_iid(dataset, num_clients, rng)
+    if partition == "dirichlet":
+        return split_dataset_dirichlet(dataset, num_clients, alpha=alpha, rng=rng)
+    raise ValueError(f"unknown partition {partition!r}; use 'iid' or 'dirichlet'")
 
 
 @dataclass
@@ -72,8 +106,26 @@ class FederatedRunLog:
     @property
     def final(self) -> BackdoorMetrics:
         if not self.rounds:
-            raise ValueError("no rounds recorded")
+            raise ValueError(
+                "no federated rounds recorded yet — FederatedRunLog.final is only "
+                "available after at least one server round has been evaluated"
+            )
         return self.rounds[-1]
+
+    def asr_trajectory(self) -> List[float]:
+        return [m.asr for m in self.rounds]
+
+    def acc_trajectory(self) -> List[float]:
+        return [m.acc for m in self.rounds]
+
+
+def _state_delta_norm(before, after) -> float:
+    """L2 norm of the global-model update (aggregation norm telemetry)."""
+    total = 0.0
+    for key, old in before.items():
+        diff = np.asarray(after[key], dtype=np.float64) - np.asarray(old, dtype=np.float64)
+        total += float((diff * diff).sum())
+    return float(np.sqrt(total))
 
 
 def run_federated_backdoor(
@@ -89,9 +141,18 @@ def run_federated_backdoor(
     client_fraction: float = 1.0,
     aggregation: str = "fedavg",
     lr: float = 0.05,
+    partition: str = "iid",
+    alpha: float = 0.5,
+    poison_ratio: float = 0.3,
     seed: int = 0,
 ) -> Tuple[FederatedServer, FederatedRunLog]:
     """Run a full federated training with embedded malicious clients.
+
+    ``partition`` selects IID or Dirichlet(``alpha``) client sharding, and
+    ``poison_ratio`` sets the malicious clients' per-round local poisoning
+    fraction.  Each evaluated round is streamed through the telemetry bus
+    as a ``federated.round`` event (round index, ACC/ASR/RA, aggregation
+    norm), so runs show up live in ``repro watch``.
 
     Returns the server (holding the final global model) and per-round
     metrics, so callers can both inspect the attack's dynamics and hand the
@@ -100,14 +161,14 @@ def run_federated_backdoor(
     if not 0 <= num_malicious < num_clients:
         raise ValueError("need 0 <= num_malicious < num_clients")
     rng = np.random.default_rng(seed)
-    shards = split_dataset_iid(train_set, num_clients, rng)
+    shards = split_dataset(train_set, num_clients, partition=partition, alpha=alpha, rng=rng)
     clients: List[FederatedClient] = []
     for client_id, shard in enumerate(shards):
         if client_id < num_malicious:
             clients.append(
                 MaliciousClient(
                     client_id, shard, attack,
-                    poison_ratio=0.3, boost=boost,
+                    poison_ratio=poison_ratio, boost=boost,
                     epochs=local_epochs, lr=lr, seed=seed + client_id,
                 )
             )
@@ -119,8 +180,28 @@ def run_federated_backdoor(
         model, clients, client_fraction=client_fraction,
         aggregation=aggregation, seed=seed,
     )
+    emit(
+        "federated.run_started", _SOURCE,
+        num_clients=num_clients, num_malicious=num_malicious, rounds=rounds,
+        partition=partition, alpha=alpha, poison_ratio=poison_ratio,
+        aggregation=aggregation, boost=boost,
+    )
     log = FederatedRunLog()
-    for _round in range(rounds):
-        server.run_round()
-        log.rounds.append(evaluate_backdoor_metrics(model, test_set, attack))
+    for round_index in range(rounds):
+        before = {k: v.copy() for k, v in model.state_dict().items()}
+        participants = server.run_round(round_index)
+        metrics = evaluate_backdoor_metrics(model, test_set, attack)
+        log.rounds.append(metrics)
+        emit(
+            "federated.round", _SOURCE,
+            round=round_index, rounds=rounds,
+            acc=metrics.acc, asr=metrics.asr, ra=metrics.ra,
+            participants=len(participants),
+            agg_norm=_state_delta_norm(before, model.state_dict()),
+        )
+    emit(
+        "federated.run_finished", _SOURCE,
+        rounds=len(log.rounds),
+        acc=log.final.acc, asr=log.final.asr, ra=log.final.ra,
+    )
     return server, log

@@ -1,0 +1,139 @@
+"""Threat-model layer: who is malicious, and how hard do they push.
+
+The federated grid varies the *fraction* of compromised clients and the
+attack they mount.  :class:`ThreatModel` turns those knobs into a concrete
+client population:
+
+- ``boost`` mode is the stealthy scaled-update attack (Bagdasaryan et al.,
+  2020) with a fixed amplification factor;
+- ``replacement`` mode resolves the boost to ``num_clients /
+  client_fraction`` at build time — the classic model-replacement setting
+  where one update (approximately) overwrites the average;
+- ``none`` disables compromise entirely (clean-control arm).
+
+Everything here is deterministic given the seed: the same threat model
+applied to the same partition yields the same malicious-id set on every
+process, which is what lets the sharded scheduler rebuild clients inside
+any worker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Sequence
+
+import numpy as np
+
+from ..attacks.base import BackdoorAttack
+from ..data.dataset import ImageDataset
+from .client import FederatedClient, MaliciousClient
+
+__all__ = ["ThreatModel", "build_clients"]
+
+ATTACK_MODES = ("none", "boost", "replacement")
+
+
+@dataclass(frozen=True)
+class ThreatModel:
+    """Malicious-client population and attack style for one federated run.
+
+    Parameters
+    ----------
+    malicious_fraction:
+        Fraction of the client population that is compromised.  Any
+        positive fraction yields at least one malicious client.
+    attack_mode:
+        ``"none"`` | ``"boost"`` | ``"replacement"``.
+    boost:
+        Update amplification for ``"boost"`` mode (ignored by the others).
+    poison_ratio:
+        Fraction of each malicious client's local data poisoned per round.
+    """
+
+    malicious_fraction: float = 0.125
+    attack_mode: str = "boost"
+    boost: float = 4.0
+    poison_ratio: float = 0.3
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.malicious_fraction < 1.0:
+            raise ValueError(
+                f"malicious_fraction must be in [0, 1), got {self.malicious_fraction}"
+            )
+        if self.attack_mode not in ATTACK_MODES:
+            raise ValueError(
+                f"unknown attack_mode {self.attack_mode!r}; choose from {ATTACK_MODES}"
+            )
+        if self.boost <= 0:
+            raise ValueError(f"boost must be positive, got {self.boost}")
+        if not 0.0 < self.poison_ratio <= 1.0:
+            raise ValueError(f"poison_ratio must be in (0, 1], got {self.poison_ratio}")
+
+    # ------------------------------------------------------------------
+    def num_malicious(self, num_clients: int) -> int:
+        """Compromised-client count: rounds, but never zero for f > 0."""
+        if self.attack_mode == "none" or self.malicious_fraction == 0.0:
+            return 0
+        return min(
+            num_clients - 1,
+            max(1, int(round(self.malicious_fraction * num_clients))),
+        )
+
+    def resolve_boost(self, num_clients: int, client_fraction: float = 1.0) -> float:
+        """Effective update scaling for this population."""
+        if self.attack_mode == "replacement":
+            return float(num_clients) / max(client_fraction, 1e-9)
+        return self.boost
+
+    def malicious_ids(self, num_clients: int, seed: int = 0) -> FrozenSet[int]:
+        """Deterministic compromised-id set (uniform draw keyed by seed)."""
+        count = self.num_malicious(num_clients)
+        if count == 0:
+            return frozenset()
+        rng = np.random.default_rng([seed, 0xFED])
+        return frozenset(
+            int(i) for i in rng.choice(num_clients, size=count, replace=False)
+        )
+
+
+def build_clients(
+    shards: Sequence[ImageDataset],
+    threat: ThreatModel,
+    attack: Optional[BackdoorAttack],
+    *,
+    client_fraction: float = 1.0,
+    local_epochs: int = 1,
+    lr: float = 0.05,
+    batch_size: int = 32,
+    seed: int = 0,
+) -> List[FederatedClient]:
+    """Materialize the client population for a partition under a threat model.
+
+    Honest clients train plainly on their shard; compromised ones poison
+    ``threat.poison_ratio`` of it each round and scale their update by the
+    resolved boost.
+    """
+    num_clients = len(shards)
+    malicious = threat.malicious_ids(num_clients, seed)
+    if malicious and attack is None:
+        raise ValueError("threat model compromises clients but no attack was given")
+    boost = threat.resolve_boost(num_clients, client_fraction)
+    clients: List[FederatedClient] = []
+    for client_id, shard in enumerate(shards):
+        if client_id in malicious:
+            clients.append(
+                MaliciousClient(
+                    client_id, shard, attack,
+                    poison_ratio=threat.poison_ratio, boost=boost,
+                    epochs=local_epochs, lr=lr, batch_size=batch_size,
+                    seed=seed + client_id,
+                )
+            )
+        else:
+            clients.append(
+                FederatedClient(
+                    client_id, shard,
+                    epochs=local_epochs, lr=lr, batch_size=batch_size,
+                )
+            )
+    return clients

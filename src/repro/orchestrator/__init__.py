@@ -48,9 +48,18 @@ __all__ = [
     "OrchestratorConfig",
     "OrchestrationResult",
     "build_experiment_dag",
+    "GraphRunResult",
+    "run_ledgered_graph",
 ]
 
-_LAZY = {"Orchestrator", "OrchestratorConfig", "OrchestrationResult", "build_experiment_dag"}
+_LAZY = {
+    "Orchestrator",
+    "OrchestratorConfig",
+    "OrchestrationResult",
+    "build_experiment_dag",
+    "GraphRunResult",
+    "run_ledgered_graph",
+}
 
 
 def __getattr__(name: str):

@@ -23,7 +23,7 @@ from __future__ import annotations
 import os
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..eval.budget import budget_trials
 from ..eval.experiments import ExperimentResult, ExperimentSpec, scenario_configs
@@ -34,7 +34,7 @@ from ..telemetry import TELEMETRY_DIR_ENV, LoggerSink, bus, release_env_sink
 from ..utils.logging import get_logger
 from .artifacts import content_hash
 from .dag import Task, TaskGraph
-from .ledger import RunLedger
+from .ledger import RunLedger, TaskRecord
 from .pool import run_tasks
 from .runtime import execute_task
 
@@ -43,6 +43,8 @@ __all__ = [
     "OrchestrationResult",
     "Orchestrator",
     "build_experiment_dag",
+    "GraphRunResult",
+    "run_ledgered_graph",
 ]
 
 _LOG = get_logger("repro.orchestrator")
@@ -192,6 +194,164 @@ def _default_run_dir(spec: ExperimentSpec, grid_hash: str) -> str:
     return os.path.join(cache_root, "runs", f"{spec.experiment_id}-{grid_hash[:12]}")
 
 
+@dataclass
+class GraphRunResult:
+    """Raw outcome of one ledgered graph execution (pre-assembly)."""
+
+    values: Dict[str, Dict]
+    counts: Dict[str, int]
+    reused: int
+    elapsed: float
+    run_dir: str
+    ledger_path: str
+
+
+def run_ledgered_graph(
+    graph: TaskGraph,
+    executor: Callable[[Dict, Task, int], Dict],
+    ctx: Dict,
+    *,
+    cfg: OrchestratorConfig,
+    run_dir: str,
+    grid_hash: str,
+    run_meta: Dict,
+    preload: Optional[Callable[[Task, TaskRecord], bool]] = None,
+    finish_fields: Optional[Callable[[Dict[str, Dict]], Dict]] = None,
+    source: str = _SOURCE,
+) -> GraphRunResult:
+    """Execute a task graph with the full ledger/resume/telemetry plumbing.
+
+    This is the engine under both the experiment-grid :class:`Orchestrator`
+    and the federated round scheduler: resume replay with a grid-hash guard,
+    ``run_meta``/``queued`` ledger appends, telemetry-dir export for forked
+    workers, a verbose console mirror, per-event ledger + bus fan-out, and
+    finally :func:`run_tasks` over the pool.
+
+    Parameters
+    ----------
+    preload:
+        Called for each ledger record whose status is ``done`` during
+        resume; return True to accept the cached result (and optionally
+        self-heal derived caches), False to force re-execution.  ``None``
+        accepts everything.
+    finish_fields:
+        Called with the merged ``{task_id: result}`` map after the run;
+        its return value is folded into the ``run_finished`` event (lets
+        callers report assembly-level outcomes without re-emitting).
+    """
+    start = time.perf_counter()
+    ledger = RunLedger(run_dir)
+
+    preloaded: Dict[str, Dict] = {}
+    if cfg.resume:
+        meta, records = ledger.replay()
+        if meta and meta.get("grid") != grid_hash:
+            backup = ledger.rotate()
+            _LOG.warning(
+                "ledger at %s was written by a different grid (%s != %s); "
+                "rotated to %s and starting fresh",
+                ledger.path, meta.get("grid"), grid_hash, backup,
+            )
+        else:
+            for task_id, record in records.items():
+                if record.status != "done" or record.result is None:
+                    continue
+                task = graph.tasks.get(task_id)
+                if task is None:
+                    continue
+                if preload is not None and not preload(task, record):
+                    continue
+                graph.mark_done(task_id)
+                preloaded[task_id] = record.result
+    else:
+        ledger.rotate()
+
+    ledger.append(
+        "run_meta",
+        grid=grid_hash,
+        tasks=len(graph),
+        workers=cfg.workers,
+        resumed=bool(cfg.resume),
+        preloaded=len(preloaded),
+        **run_meta,
+    )
+    for task in graph.tasks.values():
+        if task.task_id not in preloaded:
+            ledger.append(
+                "queued", task=task.task_id, kind=task.kind, scenario=task.scenario
+            )
+    # Light up the telemetry bus for this run.  The env export happens
+    # BEFORE first bus() use so this process attaches its own per-pid
+    # JSONL sink, and forked workers (which reset their bus post-fork)
+    # attach theirs — all under run_dir, next to the ledger.
+    env_exported = False
+    if cfg.telemetry and not os.environ.get(TELEMETRY_DIR_ENV):
+        os.environ[TELEMETRY_DIR_ENV] = run_dir
+        env_exported = True
+    run_bus = bus()
+    console_sink = None
+    if cfg.verbose:
+        console_sink = run_bus.attach(LoggerSink(_LOG, events=_CONSOLE_EVENTS))
+
+    def on_event(event: str, task: Task, **fields) -> None:
+        ledger.append(event, task=task.task_id, kind=task.kind,
+                      scenario=task.scenario, **fields)
+        stream_fields = dict(fields)
+        # Full results are durable in the ledger; keep the live stream
+        # (and the verbose console mirror) light and greppable.
+        stream_fields.pop("result", None)
+        run_bus.emit(event, source, task=task.task_id, kind=task.kind, **stream_fields)
+        if event in ("finished", "failed", "retried"):
+            run_bus.metrics.counter(f"orchestrator.tasks_{event}").inc()
+
+    try:
+        run_bus.emit(
+            "run_started", source,
+            tasks=len(graph), preloaded=len(preloaded),
+            workers=cfg.workers, run_dir=run_dir,
+            **{k: run_meta[k] for k in ("experiment",) if k in run_meta},
+        )
+        outcomes = run_tasks(
+            graph,
+            executor,
+            ctx,
+            workers=cfg.workers,
+            task_timeout=cfg.task_timeout,
+            max_retries=cfg.max_retries,
+            retry_backoff=cfg.retry_backoff,
+            on_event=on_event,
+        )
+
+        values: Dict[str, Dict] = dict(preloaded)
+        for task_id, outcome in outcomes.items():
+            if outcome.ok and outcome.value is not None:
+                values[task_id] = outcome.value
+
+        counts = graph.counts()
+        elapsed = time.perf_counter() - start
+        extra = finish_fields(values) if finish_fields is not None else {}
+        run_bus.emit(
+            "run_finished", source,
+            elapsed=elapsed, reused=len(preloaded),
+            **{f"tasks_{k}": v for k, v in counts.items()},
+            **extra,
+        )
+        return GraphRunResult(
+            values=values,
+            counts=counts,
+            reused=len(preloaded),
+            elapsed=elapsed,
+            run_dir=run_dir,
+            ledger_path=ledger.path,
+        )
+    finally:
+        if console_sink is not None:
+            run_bus.detach(console_sink)
+        if env_exported:
+            os.environ.pop(TELEMETRY_DIR_ENV, None)
+            release_env_sink()
+
+
 class Orchestrator:
     """Fault-tolerant, parallel, resumable experiment grid executor."""
 
@@ -207,7 +367,6 @@ class Orchestrator:
         root_seed: int = 0,
     ) -> OrchestrationResult:
         cfg = self.config
-        start = time.perf_counter()
         tasks = build_experiment_dag(spec, attacks, models, root_seed)
         graph = TaskGraph(tasks)
         # Grid identity: the sorted task ids hash every config/defense/seed
@@ -215,131 +374,53 @@ class Orchestrator:
         # exact grid that produced it.
         grid_hash = content_hash(sorted(graph.tasks))
         run_dir = cfg.run_dir or _default_run_dir(spec, grid_hash)
-        ledger = RunLedger(run_dir)
 
-        preloaded: Dict[str, Dict] = {}
-        if cfg.resume:
-            meta, records = ledger.replay()
-            if meta and meta.get("grid") != grid_hash:
-                backup = ledger.rotate()
-                _LOG.warning(
-                    "ledger at %s was written by a different grid (%s != %s); "
-                    "rotated to %s and starting fresh",
-                    ledger.path, meta.get("grid"), grid_hash, backup,
-                )
-            else:
-                trial_cache = TrialCache(cfg.trial_cache_dir)
-                for task_id, record in records.items():
-                    if record.status != "done" or record.result is None:
-                        continue
-                    task = graph.tasks.get(task_id)
-                    if task is None:
-                        continue
-                    graph.mark_done(task_id)
-                    preloaded[task_id] = record.result
-                    # Self-heal: an aggregate task reads trial metrics from
-                    # the artifact store, which may have been cleaned since
-                    # the trial ran — re-seed it from the ledger result.
-                    if task.kind == "trial":
-                        key = record.result.get("key", task.payload["key"])
-                        if trial_cache.load(key) is None:
-                            trial_cache.store(
-                                key, BackdoorMetrics(**record.result["metrics"])
-                            )
-        else:
-            ledger.rotate()
+        trial_cache = TrialCache(cfg.trial_cache_dir)
 
-        ledger.append(
-            "run_meta",
-            experiment=spec.experiment_id,
-            profile=spec.profile.name,
-            root_seed=root_seed,
-            grid=grid_hash,
-            tasks=len(graph),
-            workers=cfg.workers,
-            resumed=bool(cfg.resume),
-            preloaded=len(preloaded),
-        )
-        for task in tasks:
-            if task.task_id not in preloaded:
-                ledger.append(
-                    "queued", task=task.task_id, kind=task.kind, scenario=task.scenario
-                )
-        # Light up the telemetry bus for this run.  The env export happens
-        # BEFORE first bus() use so this process attaches its own per-pid
-        # JSONL sink, and forked workers (which reset their bus post-fork)
-        # attach theirs — all under run_dir, next to the ledger.
-        env_exported = False
-        if cfg.telemetry and not os.environ.get(TELEMETRY_DIR_ENV):
-            os.environ[TELEMETRY_DIR_ENV] = run_dir
-            env_exported = True
-        run_bus = bus()
-        console_sink = None
-        if cfg.verbose:
-            console_sink = run_bus.attach(LoggerSink(_LOG, events=_CONSOLE_EVENTS))
+        def preload(task: Task, record: TaskRecord) -> bool:
+            # Self-heal: an aggregate task reads trial metrics from the
+            # artifact store, which may have been cleaned since the trial
+            # ran — re-seed it from the ledger result.
+            if task.kind == "trial":
+                key = record.result.get("key", task.payload["key"])
+                if trial_cache.load(key) is None:
+                    trial_cache.store(key, BackdoorMetrics(**record.result["metrics"]))
+            return True
 
-        def on_event(event: str, task: Task, **fields) -> None:
-            ledger.append(event, task=task.task_id, kind=task.kind,
-                          scenario=task.scenario, **fields)
-            stream_fields = dict(fields)
-            # Full results are durable in the ledger; keep the live stream
-            # (and the verbose console mirror) light and greppable.
-            stream_fields.pop("result", None)
-            run_bus.emit(event, _SOURCE, task=task.task_id, kind=task.kind, **stream_fields)
-            if event in ("finished", "failed", "retried"):
-                run_bus.metrics.counter(f"orchestrator.tasks_{event}").inc()
+        assembled: Dict = {}
 
-        try:
-            run_bus.emit(
-                "run_started", _SOURCE,
-                experiment=spec.experiment_id, tasks=len(graph),
-                preloaded=len(preloaded), workers=cfg.workers, run_dir=run_dir,
-            )
-            ctx = {
+        def finish_fields(values: Dict[str, Dict]) -> Dict:
+            assembled.update(self._assemble(spec, attacks, models, root_seed, values))
+            return {"failed": len(assembled["failed_cells"])}
+
+        outcome = run_ledgered_graph(
+            graph,
+            execute_task,
+            {
                 "model_dir": cfg.model_cache_dir,
                 "trial_dir": cfg.trial_cache_dir,
                 "verbose": False,
-            }
-            outcomes = run_tasks(
-                graph,
-                execute_task,
-                ctx,
-                workers=cfg.workers,
-                task_timeout=cfg.task_timeout,
-                max_retries=cfg.max_retries,
-                retry_backoff=cfg.retry_backoff,
-                on_event=on_event,
-            )
-
-            values: Dict[str, Dict] = dict(preloaded)
-            for task_id, outcome in outcomes.items():
-                if outcome.ok and outcome.value is not None:
-                    values[task_id] = outcome.value
-
-            result = self._assemble(spec, attacks, models, root_seed, values)
-            counts = graph.counts()
-            orchestration = OrchestrationResult(
-                experiment=result["experiment"],
-                run_dir=run_dir,
-                ledger_path=ledger.path,
-                counts=counts,
-                failed_cells=result["failed_cells"],
-                reused=len(preloaded),
-                elapsed=time.perf_counter() - start,
-            )
-            run_bus.emit(
-                "run_finished", _SOURCE,
-                elapsed=orchestration.elapsed, reused=orchestration.reused,
-                failed=len(orchestration.failed_cells),
-                **{f"tasks_{k}": v for k, v in counts.items()},
-            )
-            return orchestration
-        finally:
-            if console_sink is not None:
-                run_bus.detach(console_sink)
-            if env_exported:
-                os.environ.pop(TELEMETRY_DIR_ENV, None)
-                release_env_sink()
+            },
+            cfg=cfg,
+            run_dir=run_dir,
+            grid_hash=grid_hash,
+            run_meta={
+                "experiment": spec.experiment_id,
+                "profile": spec.profile.name,
+                "root_seed": root_seed,
+            },
+            preload=preload,
+            finish_fields=finish_fields,
+        )
+        return OrchestrationResult(
+            experiment=assembled["experiment"],
+            run_dir=outcome.run_dir,
+            ledger_path=outcome.ledger_path,
+            counts=outcome.counts,
+            failed_cells=assembled["failed_cells"],
+            reused=outcome.reused,
+            elapsed=outcome.elapsed,
+        )
 
     # ------------------------------------------------------------------
     def _assemble(

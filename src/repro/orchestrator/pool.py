@@ -39,6 +39,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
+from ..telemetry import bus
 from ..utils.logging import get_logger
 from .dag import Task, TaskGraph
 
@@ -114,6 +115,10 @@ def _worker_main(conn, executor: Executor, ctx: Dict, worker_id: int) -> None:
         except BaseException as exc:  # noqa: BLE001 — workers must not die on task errors
             error = f"{type(exc).__name__}: {exc}"
             message = (task.task_id, attempt, False, None, error, time.perf_counter() - start)
+        # Workers exit via os._exit (multiprocessing bootstrap skips
+        # interpreter shutdown), so buffered sink output must be pushed to
+        # disk per task or the per-pid telemetry files stay empty.
+        bus().flush()
         try:
             conn.send(message)
         except (BrokenPipeError, OSError):

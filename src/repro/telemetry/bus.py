@@ -103,6 +103,22 @@ class TelemetryBus:
         if close:
             sink.close()
 
+    def flush(self) -> None:
+        """Flush every attached sink's buffered output to durable storage.
+
+        Pool workers exit through ``os._exit`` (multiprocessing bootstrap),
+        which skips interpreter shutdown — anything still sitting in a
+        sink's userspace buffer is lost.  Workers call this after each task
+        so live watchers see their events promptly.
+        """
+        with self._lock:
+            sinks = list(self._sinks)
+        for sink in sinks:
+            try:
+                sink.flush()
+            except Exception:  # noqa: BLE001 — observability must not kill work
+                pass
+
     def subscribe(self, fn: Subscriber) -> Subscriber:
         """Register an in-process callback; returns it (for unsubscribe)."""
         with self._lock:

@@ -32,10 +32,13 @@ __all__ = ["Sink", "JsonlSink", "MemorySink", "LoggerSink"]
 
 
 class Sink:
-    """Interface: override :meth:`write`; :meth:`close` is optional."""
+    """Interface: override :meth:`write`; :meth:`flush`/:meth:`close` are optional."""
 
     def write(self, event: TelemetryEvent) -> None:
         raise NotImplementedError
+
+    def flush(self) -> None:
+        pass
 
     def close(self) -> None:
         pass

@@ -136,6 +136,15 @@ class WatchState:
     tune_epochs: int = 0
     tune_val_loss: Optional[float] = None
     tune_best_epoch: int = -1
+    # Federated rounds (latest round event per scenario wins the headline).
+    fed_rounds: int = 0
+    fed_total_rounds: int = 0
+    fed_clients: int = 0
+    fed_asrs: deque = field(default_factory=lambda: deque(maxlen=120))
+    fed_accs: deque = field(default_factory=lambda: deque(maxlen=120))
+    fed_agg_norm: Optional[float] = None
+    # Defense arm -> latest (asr, acc) from federated.defense events.
+    fed_defenses: Dict[str, Dict[str, float]] = field(default_factory=dict)
     # Serving.
     swaps: int = 0
     overloads: int = 0
@@ -185,12 +194,32 @@ class WatchState:
                 self.tune_val_loss = float(record["val_loss"])
             if isinstance(record.get("best_epoch"), int):
                 self.tune_best_epoch = record["best_epoch"]
+        elif event == "federated.round":
+            if isinstance(record.get("round"), int):
+                self.fed_rounds = record["round"] + 1
+            if isinstance(record.get("rounds"), int):
+                self.fed_total_rounds = record["rounds"]
+            if isinstance(record.get("clients"), int):
+                self.fed_clients = record["clients"]
+            if isinstance(record.get("asr"), (int, float)):
+                self.fed_asrs.append(float(record["asr"]))
+            if isinstance(record.get("acc"), (int, float)):
+                self.fed_accs.append(float(record["acc"]))
+            if isinstance(record.get("agg_norm"), (int, float)):
+                self.fed_agg_norm = float(record["agg_norm"])
+        elif event == "federated.defense":
+            name = record.get("defense")
+            if name:
+                self.fed_defenses[str(name)] = {
+                    "asr": float(record.get("asr", float("nan"))),
+                    "acc": float(record.get("acc", float("nan"))),
+                }
         elif event == "swap":
             self.swaps += 1
         elif event == "overload_rejected":
             self.overloads += 1
 
-        if event not in ("prune_round", "tune_epoch"):
+        if event not in ("prune_round", "tune_epoch", "federated.round"):
             summary = event
             task = record.get("task")
             if task:
@@ -335,6 +364,25 @@ def render_dashboard(state: WatchState, width: int = 78, now: Optional[float] = 
             f" tune    epoch {state.tune_epochs}  val_loss {val}"
             f"  best_epoch {state.tune_best_epoch}"
         )
+
+    # Federated rounds ---------------------------------------------------
+    if state.fed_rounds:
+        asr_now = state.fed_asrs[-1] if state.fed_asrs else float("nan")
+        acc_now = state.fed_accs[-1] if state.fed_accs else float("nan")
+        total = f"/{state.fed_total_rounds}" if state.fed_total_rounds else ""
+        norm = f"  |Δw| {state.fed_agg_norm:.3f}" if state.fed_agg_norm is not None else ""
+        lines.append(
+            f" fed     round {state.fed_rounds}{total}  clients={state.fed_clients}"
+            f"  ASR {asr_now * 100:5.1f}%  ACC {acc_now * 100:5.1f}%{norm}"
+        )
+        if state.fed_asrs:
+            lines.append(f"   asr   {sparkline(state.fed_asrs, width - 10)}")
+        if state.fed_defenses:
+            arms = "  ".join(
+                f"{name}:ASR {vals['asr'] * 100:.1f}%"
+                for name, vals in sorted(state.fed_defenses.items())
+            )
+            lines.append(f"   defenses {arms}"[:width])
 
     # Serving ------------------------------------------------------------
     if state.swaps or state.overloads:

@@ -32,7 +32,7 @@ def defender_data(tiny_reservoir, tiny_attack):
 
 class TestRegistry:
     def test_all_expected_defenses_registered(self):
-        expected = {"ft", "fp", "nad", "nc", "clp", "bnp", "ft_sam", "anp", "grad_prune"}
+        expected = {"ft", "fp", "nad", "nc", "clp", "bnp", "ft_sam", "anp", "grad_prune", "fed_unlearn"}
         assert set(DEFENSE_REGISTRY) == expected
 
     def test_build_each(self):

@@ -1,0 +1,89 @@
+"""Clean-loss + backdoor-penalty unlearning defense."""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.data.splits import defender_split
+from repro.defenses import FederatedUnlearningDefense, build_defense
+from repro.defenses.base import DefenderData
+from repro.eval import evaluate_backdoor_metrics
+
+
+@pytest.fixture()
+def defender_data(tiny_reservoir, tiny_attack):
+    clean_train, clean_val = defender_split(
+        tiny_reservoir, spc=20, rng=np.random.default_rng(4)
+    )
+    return DefenderData(clean_train=clean_train, clean_val=clean_val, attack=tiny_attack)
+
+
+class TestConfig:
+    def test_registered_and_kwargs_forwarded(self):
+        defense = build_defense("fed_unlearn", penalty=0.25, epochs=3)
+        assert isinstance(defense, FederatedUnlearningDefense)
+        assert defense.penalty == 0.25
+        assert defense.epochs == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FederatedUnlearningDefense(lr=0.0)
+        with pytest.raises(ValueError):
+            FederatedUnlearningDefense(epochs=0)
+        with pytest.raises(ValueError):
+            FederatedUnlearningDefense(penalty=-0.1)
+        with pytest.raises(ValueError):
+            FederatedUnlearningDefense(unlearn_count=-1)
+
+    def test_effective_lr_anneals(self):
+        base = FederatedUnlearningDefense(lr=0.02)
+        assert base.effective_lr() == pytest.approx(0.02)
+        # Snippet schedule: base / 2**(count/10) — halves every 10 rounds.
+        later = FederatedUnlearningDefense(lr=0.02, unlearn_count=10)
+        assert later.effective_lr() == pytest.approx(0.01)
+
+
+class TestApply:
+    def test_reduces_asr_keeps_model_usable(
+        self, backdoored_tiny_model, defender_data, tiny_test, tiny_attack
+    ):
+        model = copy.deepcopy(backdoored_tiny_model)
+        before = evaluate_backdoor_metrics(model, tiny_test, tiny_attack)
+        report = FederatedUnlearningDefense(epochs=6, lr=0.02, seed=0).apply(
+            model, defender_data
+        )
+        after = evaluate_backdoor_metrics(model, tiny_test, tiny_attack)
+        assert after.asr < before.asr
+        assert after.acc > 0.4
+        assert report.details["penalized_batches"] >= 1
+        assert report.details["backdoor_loss"] > report.details["clean_loss"]
+
+    def test_zero_penalty_degenerates_to_finetuning(
+        self, backdoored_tiny_model, defender_data
+    ):
+        model = copy.deepcopy(backdoored_tiny_model)
+        report = FederatedUnlearningDefense(penalty=0.0, epochs=1, seed=0).apply(
+            model, defender_data
+        )
+        assert report.details["penalized_batches"] == 0
+
+    def test_missing_attack_raises(self, backdoored_tiny_model, defender_data):
+        data = DefenderData(
+            clean_train=defender_data.clean_train,
+            clean_val=defender_data.clean_val,
+            attack=None,
+        )
+        with pytest.raises(ValueError, match="attack"):
+            FederatedUnlearningDefense().apply(backdoored_tiny_model, data)
+
+    def test_deterministic_given_seed(
+        self, backdoored_tiny_model, defender_data, tiny_test, tiny_attack
+    ):
+        m1 = copy.deepcopy(backdoored_tiny_model)
+        m2 = copy.deepcopy(backdoored_tiny_model)
+        FederatedUnlearningDefense(epochs=2, seed=7).apply(m1, defender_data)
+        FederatedUnlearningDefense(epochs=2, seed=7).apply(m2, defender_data)
+        a = evaluate_backdoor_metrics(m1, tiny_test, tiny_attack)
+        b = evaluate_backdoor_metrics(m2, tiny_test, tiny_attack)
+        assert (a.acc, a.asr, a.ra) == (b.acc, b.asr, b.ra)

@@ -9,10 +9,12 @@ from repro.federated import (
     MaliciousClient,
     fedavg,
     run_federated_backdoor,
+    split_dataset,
     split_dataset_dirichlet,
     split_dataset_iid,
     trimmed_mean,
 )
+from repro.telemetry import MemorySink, bus
 from tests.conftest import TinyConvNet, make_tiny_dataset
 
 
@@ -27,12 +29,20 @@ class TestPartitioning:
         with pytest.raises(ValueError):
             split_dataset_iid(make_tiny_dataset(3), 10)
 
-    def test_dirichlet_partitions_everything(self):
+    def test_dirichlet_partitions_everything_exactly_once(self):
         ds = make_tiny_dataset(120, seed=1)
         shards = split_dataset_dirichlet(ds, 4, alpha=0.5, rng=np.random.default_rng(0))
-        # Dirichlet may duplicate a sample only to rescue empty clients.
-        assert sum(len(s) for s in shards) >= 120
+        # Exact partition: empty clients are rescued by moving samples, never
+        # duplicating them.
+        assert sum(len(s) for s in shards) == 120
         assert all(len(s) >= 1 for s in shards)
+
+    def test_split_dataset_dispatch(self):
+        ds = make_tiny_dataset(60, seed=3)
+        assert len(split_dataset(ds, 3, "iid", rng=np.random.default_rng(0))) == 3
+        assert len(split_dataset(ds, 3, "dirichlet", rng=np.random.default_rng(0))) == 3
+        with pytest.raises(ValueError):
+            split_dataset(ds, 3, "stratified")
 
     def test_dirichlet_small_alpha_is_skewed(self):
         ds = make_tiny_dataset(300, seed=2)
@@ -163,3 +173,43 @@ class TestEndToEnd:
                 TinyConvNet(), tiny_train, tiny_test, tiny_attack,
                 num_clients=3, num_malicious=3,
             )
+
+    def test_empty_log_final_is_descriptive(self):
+        from repro.federated import FederatedRunLog
+
+        with pytest.raises(ValueError, match="no federated rounds recorded"):
+            FederatedRunLog().final
+
+    def test_dirichlet_partition_and_poison_ratio_params(
+        self, tiny_train, tiny_test, tiny_attack
+    ):
+        model = TinyConvNet(seed=0)
+        _server, log = run_federated_backdoor(
+            model, tiny_train, tiny_test, tiny_attack,
+            num_clients=3, num_malicious=1, rounds=2, local_epochs=1,
+            partition="dirichlet", alpha=0.3, poison_ratio=0.5, lr=0.05, seed=1,
+        )
+        assert len(log.rounds) == 2
+        with pytest.raises(ValueError, match="partition"):
+            run_federated_backdoor(
+                TinyConvNet(), tiny_train, tiny_test, tiny_attack,
+                num_clients=3, num_malicious=1, rounds=1, partition="sorted",
+            )
+
+    def test_round_telemetry_emitted(self, tiny_train, tiny_test, tiny_attack):
+        sink = MemorySink()
+        bus().attach(sink)
+        try:
+            run_federated_backdoor(
+                TinyConvNet(seed=0), tiny_train, tiny_test, tiny_attack,
+                num_clients=3, num_malicious=1, rounds=2, local_epochs=1, seed=0,
+            )
+        finally:
+            bus().detach(sink)
+        events = {e.event: e for e in sink.events}
+        assert "federated.run_started" in events
+        assert "federated.run_finished" in events
+        rounds = [e for e in sink.events if e.event == "federated.round"]
+        assert [e.fields["round"] for e in rounds] == [0, 1]
+        for e in rounds:
+            assert {"acc", "asr", "ra", "participants", "agg_norm"} <= set(e.fields)

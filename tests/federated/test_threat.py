@@ -1,0 +1,88 @@
+"""Threat-model layer: population sizing, boost resolution, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.federated import ThreatModel, build_clients, split_dataset_iid
+from repro.federated.client import FederatedClient, MaliciousClient
+from tests.conftest import make_tiny_dataset
+
+
+class TestValidation:
+    def test_bad_fraction(self):
+        with pytest.raises(ValueError):
+            ThreatModel(malicious_fraction=1.0)
+        with pytest.raises(ValueError):
+            ThreatModel(malicious_fraction=-0.1)
+
+    def test_bad_mode(self):
+        with pytest.raises(ValueError):
+            ThreatModel(attack_mode="sybil")
+
+    def test_bad_boost_and_poison(self):
+        with pytest.raises(ValueError):
+            ThreatModel(boost=0.0)
+        with pytest.raises(ValueError):
+            ThreatModel(poison_ratio=0.0)
+
+
+class TestNumMalicious:
+    def test_rounds_but_never_zero_for_positive_fraction(self):
+        assert ThreatModel(malicious_fraction=0.125).num_malicious(64) == 8
+        assert ThreatModel(malicious_fraction=0.01).num_malicious(8) == 1
+
+    def test_never_the_whole_population(self):
+        assert ThreatModel(malicious_fraction=0.9).num_malicious(2) == 1
+
+    def test_zero_for_none_mode_or_zero_fraction(self):
+        assert ThreatModel(attack_mode="none").num_malicious(64) == 0
+        assert ThreatModel(malicious_fraction=0.0).num_malicious(64) == 0
+
+
+class TestBoost:
+    def test_boost_mode_uses_configured_factor(self):
+        assert ThreatModel(attack_mode="boost", boost=4.0).resolve_boost(64) == 4.0
+
+    def test_replacement_scales_with_population(self):
+        threat = ThreatModel(attack_mode="replacement")
+        assert threat.resolve_boost(64) == pytest.approx(64.0)
+        assert threat.resolve_boost(64, client_fraction=0.5) == pytest.approx(128.0)
+
+
+class TestMaliciousIds:
+    def test_deterministic_per_seed(self):
+        threat = ThreatModel(malicious_fraction=0.25)
+        assert threat.malicious_ids(16, seed=3) == threat.malicious_ids(16, seed=3)
+        assert threat.malicious_ids(16, seed=3) != threat.malicious_ids(16, seed=4)
+
+    def test_count_and_range(self):
+        ids = ThreatModel(malicious_fraction=0.25).malicious_ids(16, seed=0)
+        assert len(ids) == 4
+        assert all(0 <= i < 16 for i in ids)
+
+    def test_empty_for_clean_arm(self):
+        assert ThreatModel(attack_mode="none").malicious_ids(16) == frozenset()
+
+
+class TestBuildClients:
+    def test_population_matches_threat(self, tiny_attack):
+        shards = split_dataset_iid(make_tiny_dataset(80, seed=0), 8, np.random.default_rng(0))
+        threat = ThreatModel(malicious_fraction=0.25, boost=3.0)
+        clients = build_clients(shards, threat, tiny_attack, seed=5)
+        assert len(clients) == 8
+        assert [c.client_id for c in clients] == list(range(8))
+        malicious = {c.client_id for c in clients if isinstance(c, MaliciousClient)}
+        assert malicious == set(threat.malicious_ids(8, seed=5))
+        assert all(
+            c.boost == 3.0 for c in clients if isinstance(c, MaliciousClient)
+        )
+
+    def test_clean_arm_builds_only_honest_clients(self):
+        shards = split_dataset_iid(make_tiny_dataset(40, seed=1), 4, np.random.default_rng(0))
+        clients = build_clients(shards, ThreatModel(attack_mode="none"), None)
+        assert all(type(c) is FederatedClient for c in clients)
+
+    def test_missing_attack_raises(self):
+        shards = split_dataset_iid(make_tiny_dataset(40, seed=1), 4, np.random.default_rng(0))
+        with pytest.raises(ValueError, match="no attack"):
+            build_clients(shards, ThreatModel(malicious_fraction=0.25), None)

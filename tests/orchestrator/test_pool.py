@@ -4,12 +4,14 @@ Executor functions are module-level so forked workers can run them; they
 coordinate across processes through marker files in the test's tmp dir.
 """
 
+import json
 import os
 import time
 
 import pytest
 
 from repro.orchestrator.dag import Task, TaskGraph
+from repro.telemetry import TELEMETRY_DIR_ENV, emit
 from repro.orchestrator.pool import (
     FAULT_RATE_ENV,
     FaultInjected,
@@ -35,6 +37,11 @@ def flaky_executor(ctx, task, attempt):
 def always_fail_executor(ctx, task, attempt):
     if task.task_id in ctx.get("broken", ()):
         raise RuntimeError("permanently broken")
+    return {"task": task.task_id}
+
+
+def emitting_executor(ctx, task, attempt):
+    emit("worker.probe", "pool-test", task=task.task_id)
     return {"task": task.task_id}
 
 
@@ -143,6 +150,21 @@ class TestPooled:
         assert outcomes["b"].attempts == 2
         failed = events.of("failed")
         assert any("died" in fields.get("error", "") for _, _, fields in failed)
+
+    def test_worker_telemetry_lands_on_disk(self, tmp_path, monkeypatch):
+        # Workers exit via os._exit, which skips interpreter shutdown: only
+        # the per-task flush in _worker_main makes their emits durable.
+        monkeypatch.setenv(TELEMETRY_DIR_ENV, str(tmp_path))
+        outcomes = run_tasks(TaskGraph(chain()), emitting_executor, workers=2)
+        assert all(outcome.ok for outcome in outcomes.values())
+        lines = [
+            line
+            for path in tmp_path.glob("telemetry-*.jsonl")
+            for line in path.read_text().splitlines()
+        ]
+        probed = {json.loads(line)["task"] for line in lines
+                  if json.loads(line)["event"] == "worker.probe"}
+        assert probed == {"a", "b", "c", "d"}
 
     def test_timeout_kills_and_retries(self):
         events = Events()

@@ -1,0 +1,66 @@
+"""Property-based tests for the Dirichlet client partitioner."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.federated import split_dataset_dirichlet, split_dataset_iid
+from tests.conftest import make_tiny_dataset
+
+num_clients = st.integers(min_value=2, max_value=6)
+alphas = st.floats(min_value=0.05, max_value=5.0, allow_nan=False)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+@settings(max_examples=30, deadline=None)
+@given(num_clients, alphas, seeds)
+def test_exact_partition_every_sample_exactly_once(clients, alpha, seed):
+    ds = make_tiny_dataset(90, seed=0)
+    shards = split_dataset_dirichlet(ds, clients, alpha=alpha, rng=np.random.default_rng(seed))
+    assert len(shards) == clients
+    assert sum(len(s) for s in shards) == len(ds)
+    # Per-class mass is preserved: the shards' class histograms sum back to
+    # the dataset's (an exact partition, not a resample).
+    total = np.zeros(ds.num_classes, dtype=int)
+    for shard in shards:
+        total += np.bincount(shard.labels, minlength=ds.num_classes)
+    assert np.array_equal(total, ds.class_counts())
+
+
+@settings(max_examples=30, deadline=None)
+@given(num_clients, alphas, seeds)
+def test_no_client_left_empty(clients, alpha, seed):
+    ds = make_tiny_dataset(60, seed=1)
+    shards = split_dataset_dirichlet(ds, clients, alpha=alpha, rng=np.random.default_rng(seed))
+    assert all(len(s) >= 1 for s in shards)
+
+
+@settings(max_examples=30, deadline=None)
+@given(num_clients, alphas, seeds)
+def test_seed_determinism(clients, alpha, seed):
+    ds = make_tiny_dataset(60, seed=2)
+    a = split_dataset_dirichlet(ds, clients, alpha=alpha, rng=np.random.default_rng(seed))
+    b = split_dataset_dirichlet(ds, clients, alpha=alpha, rng=np.random.default_rng(seed))
+    for sa, sb in zip(a, b):
+        assert np.array_equal(sa.labels, sb.labels)
+        assert np.array_equal(sa.images, sb.images)
+
+
+def _mean_dominance(shards):
+    """Average fraction of a shard owned by its most common class."""
+    values = []
+    for shard in shards:
+        counts = shard.class_counts()
+        values.append(counts.max() / max(counts.sum(), 1))
+    return float(np.mean(values))
+
+
+@settings(max_examples=15, deadline=None)
+@given(seeds)
+def test_small_alpha_more_skewed_than_iid(seed):
+    ds = make_tiny_dataset(300, seed=3)
+    dirichlet = split_dataset_dirichlet(ds, 3, alpha=0.05, rng=np.random.default_rng(seed))
+    iid = split_dataset_iid(ds, 3, np.random.default_rng(seed))
+    # alpha -> 0 concentrates classes on few clients; IID shards mirror the
+    # overall (uniform) label distribution.
+    assert _mean_dominance(dirichlet) > _mean_dominance(iid)

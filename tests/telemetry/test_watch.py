@@ -3,6 +3,8 @@
 import io
 import json
 
+import pytest
+
 from repro.telemetry.watch import (
     JsonlTail,
     WatchState,
@@ -162,6 +164,39 @@ class TestWatchStateFolding:
         state.apply({"event": 42})
         assert state.events == 0
 
+    def test_federated_rounds_folded(self):
+        state = WatchState()
+        for i in range(3):
+            state.apply(
+                {
+                    "event": "federated.round",
+                    "round": i,
+                    "rounds": 5,
+                    "clients": 64,
+                    "acc": 0.5 + 0.1 * i,
+                    "asr": 0.9 - 0.1 * i,
+                    "agg_norm": 2.0,
+                }
+            )
+        assert state.fed_rounds == 3
+        assert state.fed_total_rounds == 5
+        assert state.fed_clients == 64
+        assert list(state.fed_asrs) == pytest.approx([0.9, 0.8, 0.7])
+        assert state.fed_agg_norm == 2.0
+        # Hot event: kept out of the recent-events footer.
+        assert not any("federated.round" in entry for entry in state.recent)
+
+    def test_federated_defense_latest_per_arm(self):
+        state = WatchState()
+        state.apply({"event": "federated.defense", "defense": "fed_unlearn",
+                     "asr": 0.5, "acc": 0.6})
+        state.apply({"event": "federated.defense", "defense": "fed_unlearn",
+                     "asr": 0.2, "acc": 0.7})
+        state.apply({"event": "federated.defense", "defense": "grad_prune",
+                     "asr": 0.1, "acc": 0.8})
+        assert state.fed_defenses["fed_unlearn"] == {"asr": 0.2, "acc": 0.7}
+        assert set(state.fed_defenses) == {"fed_unlearn", "grad_prune"}
+
 
 class TestRender:
     def _folded_state(self):
@@ -182,6 +217,18 @@ class TestRender:
         assert "ASR" in frame and "ACC" in frame
         assert "prune" in frame
         assert "policy=adaptive" in frame
+
+    def test_render_federated_section(self):
+        state = self._folded_state()
+        state.apply({"event": "federated.round", "round": 1, "rounds": 3,
+                     "clients": 64, "acc": 0.6, "asr": 0.8, "agg_norm": 1.25})
+        state.apply({"event": "federated.defense", "defense": "fed_unlearn",
+                     "asr": 0.3, "acc": 0.62})
+        frame = render_dashboard(state, width=78, now=2.0)
+        assert "fed" in frame
+        assert "round 2/3" in frame
+        assert "clients=64" in frame
+        assert "fed_unlearn" in frame
 
     def test_render_respects_width(self):
         frame = render_dashboard(self._folded_state(), width=60, now=2.0)

@@ -210,6 +210,76 @@ class TestOrchestrateCommand:
         assert main(["orchestrate", "table1"]) == 1
 
 
+class TestOrchestrateFederated:
+    def test_tableF_only_reachable_via_orchestrate(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "tableF"])
+        args = build_parser().parse_args(["orchestrate", "tableF"])
+        assert args.experiment_id == "tableF"
+
+    def test_parser_federated_flags(self):
+        args = build_parser().parse_args([
+            "orchestrate", "tableF", "--clients", "64", "256",
+            "--fractions", "0.125", "--rounds", "4",
+            "--partition", "dirichlet", "--alpha", "0.1",
+            "--poison-ratio", "0.4", "--defenses", "grad_prune", "fed_unlearn",
+        ])
+        assert args.clients == [64, 256]
+        assert args.fractions == [0.125]
+        assert args.rounds == 4
+        assert args.partition == "dirichlet"
+        assert args.alpha == 0.1
+        assert args.poison_ratio == 0.4
+        assert args.defenses == ["grad_prune", "fed_unlearn"]
+
+    def test_unknown_defense_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["orchestrate", "tableF", "--defenses", "retrain"])
+
+    def test_wiring_reaches_federated_orchestrator(self, monkeypatch, capsys):
+        captured = {}
+
+        class FakeFederatedOrchestrator:
+            def __init__(self, config):
+                captured["config"] = config
+
+            def run(self, spec):
+                captured["spec"] = spec
+
+                class _Result:
+                    ok = True
+
+                    @staticmethod
+                    def table_text():
+                        return "(federated table)"
+
+                    @staticmethod
+                    def summary():
+                        return "orchestrate[tableF]: done=11"
+
+                return _Result()
+
+        monkeypatch.setattr(
+            "repro.federated.FederatedOrchestrator", FakeFederatedOrchestrator
+        )
+        exit_code = main([
+            "orchestrate", "tableF", "--workers", "2",
+            "--clients", "8", "--fractions", "0.25", "--rounds", "2",
+            "--alpha", "0.2", "--seed", "9",
+        ])
+        assert exit_code == 0
+        assert captured["config"].workers == 2
+        spec = captured["spec"]
+        assert spec.experiment_id == "tableF"
+        assert spec.client_counts == (8,)
+        assert spec.malicious_fractions == (0.25,)
+        assert spec.base.rounds == 2
+        assert spec.base.alpha == 0.2
+        assert spec.base.seed == 9
+        out = capsys.readouterr().out
+        assert "(federated table)" in out and "done=11" in out
+
+
 class TestServeCommand:
     def test_parser_defaults(self):
         args = build_parser().parse_args(["serve"])
